@@ -1,0 +1,28 @@
+"""E1 — LPT with setup placeholders on uniform machines (Lemma 2.1).
+
+Regenerates the measured-ratio table for the 4.74-approximation and times
+one representative LPT invocation.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.algorithms import lpt_uniform_with_setups
+from repro.algorithms.lpt import LPT_GUARANTEE
+from repro.generators import uniform_instance
+
+
+def test_e1_table(benchmark, scale):
+    """The E1 result table: every measured ratio stays below the proven 4.74."""
+    table = benchmark.pedantic(run_and_print, args=("E1", scale), rounds=1, iterations=1)
+    assert len(table.rows) >= 3
+    for row in table.rows:
+        assert row["lpt_ratio"] <= LPT_GUARANTEE + 1e-9
+
+
+@pytest.mark.benchmark(group="e1-lpt")
+def test_e1_lpt_runtime(benchmark):
+    """Wall-clock of one LPT run on the largest E1 instance size."""
+    inst = uniform_instance(120, 8, 15, seed=1, integral=True, setup_regime="dominant")
+    result = benchmark(lpt_uniform_with_setups, inst)
+    assert result.schedule.validate() == []

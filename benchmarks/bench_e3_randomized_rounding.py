@@ -1,0 +1,22 @@
+"""E3 — randomized LP rounding on unrelated machines (Theorem 3.3 / Corollary 3.4)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.algorithms.unrelated import randomized_rounding_approximation
+from repro.generators import unrelated_instance
+
+
+def test_e3_table(benchmark, scale):
+    """The E3 result table: measured ratios stay below the Chernoff bound."""
+    table = benchmark.pedantic(run_and_print, args=("E3", scale), rounds=1, iterations=1)
+    for row in table.rows:
+        assert row["ratio"] <= row["theoretical_bound"] + 1e-9
+
+
+@pytest.mark.benchmark(group="e3-rounding")
+def test_e3_rounding_runtime(benchmark):
+    """Wall-clock of the full dual search + rounding on a mid-size instance."""
+    inst = unrelated_instance(60, 8, 10, seed=3)
+    result = benchmark(lambda: randomized_rounding_approximation(inst, seed=3))
+    assert result.schedule.validate() == []

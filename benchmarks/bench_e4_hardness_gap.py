@@ -1,0 +1,29 @@
+"""E4 — the SetCoverGap hardness construction (Theorem 3.5) and integrality gaps."""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.setcover import planted_cover_instance, reduce_to_scheduling
+
+
+def test_e4_table(benchmark, scale):
+    """The E4 result table: Yes-instances admit small makespans, the No bound grows."""
+    table = benchmark.pedantic(run_and_print, args=("E4", scale), rounds=1, iterations=1)
+    for row in table.rows:
+        assert row["yes_makespan"] <= row["K"]
+        # The SetCover LP stays below 2 while the greedy integral cover needs
+        # at least q = log2(N+1) sets — the Ω(log N) integrality gap.
+        assert row["sc_lp_value"] < 2.0 + 1e-9
+        assert row["sc_greedy_size"] >= 2
+
+
+@pytest.mark.benchmark(group="e4-reduction")
+def test_e4_reduction_runtime(benchmark):
+    """Wall-clock of building the reduction for a mid-size SetCover instance."""
+    setcover, _ = planted_cover_instance(40, 20, 5, seed=4)
+
+    def build():
+        return reduce_to_scheduling(setcover, 5, seed=4)
+
+    hardness = benchmark(build)
+    assert hardness.scheduling.num_jobs == hardness.num_classes * 40

@@ -1,0 +1,23 @@
+"""E5 — 2-approximation for restricted assignment with class-uniform restrictions."""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.algorithms.restricted import class_uniform_restrictions_approximation
+from repro.generators import class_uniform_restrictions_instance
+
+
+def test_e5_table(benchmark, scale):
+    """The E5 result table: every measured ratio is at most 2 (plus search slack)."""
+    table = benchmark.pedantic(run_and_print, args=("E5", scale), rounds=1, iterations=1)
+    for row in table.rows:
+        assert row["ratio"] <= 2.0 * 1.05 + 1e-9
+
+
+@pytest.mark.benchmark(group="e5-2approx")
+def test_e5_two_approx_runtime(benchmark):
+    """Wall-clock of the LP + pseudo-forest rounding pipeline."""
+    inst = class_uniform_restrictions_instance(60, 8, 10, seed=5, min_eligible=2,
+                                               max_eligible=5)
+    result = benchmark(lambda: class_uniform_restrictions_approximation(inst))
+    assert result.schedule.validate() == []

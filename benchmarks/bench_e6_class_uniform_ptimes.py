@@ -1,0 +1,22 @@
+"""E6 — 3-approximation for unrelated machines with class-uniform processing times."""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.algorithms.restricted import class_uniform_ptimes_approximation
+from repro.generators import class_uniform_ptimes_instance
+
+
+def test_e6_table(benchmark, scale):
+    """The E6 result table: every measured ratio is at most 3 (plus search slack)."""
+    table = benchmark.pedantic(run_and_print, args=("E6", scale), rounds=1, iterations=1)
+    for row in table.rows:
+        assert row["ratio"] <= 3.0 * 1.05 + 1e-9
+
+
+@pytest.mark.benchmark(group="e6-3approx")
+def test_e6_three_approx_runtime(benchmark):
+    """Wall-clock of the variant-(16) LP + rounding pipeline."""
+    inst = class_uniform_ptimes_instance(60, 8, 10, seed=6)
+    result = benchmark(lambda: class_uniform_ptimes_approximation(inst))
+    assert result.schedule.validate() == []

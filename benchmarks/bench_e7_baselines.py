@@ -1,0 +1,26 @@
+"""E7 — class-aware vs class-oblivious baselines across setup regimes."""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.algorithms import class_aware_list_schedule, class_oblivious_list_schedule
+from repro.generators import uniform_instance
+
+
+def test_e7_table(benchmark, scale):
+    """The E7 result table: class-oblivious scheduling degrades with dominant setups."""
+    table = benchmark.pedantic(run_and_print, args=("E7", scale), rounds=1, iterations=1)
+    dominant = [row for row in table.rows if row["setup_regime"] == "dominant"]
+    for row in dominant:
+        assert row["class_aware_ratio"] <= row["class_oblivious_ratio"] + 1e-9
+
+
+@pytest.mark.benchmark(group="e7-baselines")
+@pytest.mark.parametrize("algorithm", [class_aware_list_schedule,
+                                       class_oblivious_list_schedule],
+                         ids=["class-aware", "class-oblivious"])
+def test_e7_baseline_runtime(benchmark, algorithm):
+    """Wall-clock of the two greedy baselines on a large uniform instance."""
+    inst = uniform_instance(500, 20, 40, seed=7, integral=True)
+    result = benchmark(algorithm, inst)
+    assert result.schedule.validate() == []

@@ -1,0 +1,32 @@
+"""E8 — convergence of the dual-approximation binary search (Section 1.1.1)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.core.bounds import greedy_upper_bound, makespan_bounds
+from repro.core.dual import dual_approximation_search
+from repro.generators import uniform_instance
+
+
+def test_e8_table(benchmark, scale):
+    """The E8 result table: iterations grow as the precision shrinks."""
+    table = benchmark.pedantic(run_and_print, args=("E8", scale), rounds=1, iterations=1)
+    assert len(table.rows) >= 2
+    for row in table.rows:
+        assert row["iterations"] >= 1
+
+
+@pytest.mark.benchmark(group="e8-dual-search")
+def test_e8_search_runtime(benchmark):
+    """Wall-clock of a full binary search around a cheap decision procedure."""
+    inst = uniform_instance(100, 10, 10, seed=8, integral=True)
+    bounds = makespan_bounds(inst)
+    _, greedy = greedy_upper_bound(inst)
+
+    def search():
+        return dual_approximation_search(
+            inst, lambda guess: greedy if greedy.makespan() <= 2.0 * guess else None,
+            precision=0.01, bounds=bounds)
+
+    result = benchmark(search)
+    assert result.iterations >= 1

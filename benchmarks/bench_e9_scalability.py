@@ -1,0 +1,41 @@
+"""E9 — runtime scalability of the polynomial-time algorithms."""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.algorithms import class_aware_list_schedule, lpt_uniform_with_setups
+from repro.algorithms.ptas import ptas_uniform
+from repro.generators import uniform_instance
+
+
+def test_e9_table(benchmark, scale):
+    """The E9 result table (runtimes for growing n, m, K)."""
+    table = benchmark.pedantic(run_and_print, args=("E9", scale), rounds=1, iterations=1)
+    assert len(table.rows) >= 2
+
+
+@pytest.mark.benchmark(group="e9-scalability")
+@pytest.mark.parametrize("n,m,k", [(200, 10, 20), (500, 20, 40), (1000, 40, 80)],
+                         ids=["n200", "n500", "n1000"])
+def test_e9_lpt_scaling(benchmark, n, m, k):
+    """LPT runtime as the instance grows (near-linear expected)."""
+    inst = uniform_instance(n, m, k, seed=9, integral=True)
+    result = benchmark(lpt_uniform_with_setups, inst)
+    assert result.schedule.validate() == []
+
+
+@pytest.mark.benchmark(group="e9-scalability-ptas")
+@pytest.mark.parametrize("n,m,k", [(100, 10, 10), (200, 10, 20)], ids=["n100", "n200"])
+def test_e9_ptas_scaling(benchmark, n, m, k):
+    """PTAS (ε=0.25) runtime as the instance grows."""
+    inst = uniform_instance(n, m, k, seed=10, integral=True)
+    result = benchmark(lambda: ptas_uniform(inst, epsilon=0.25))
+    assert result.schedule.validate() == []
+
+
+@pytest.mark.benchmark(group="e9-scalability-greedy")
+def test_e9_greedy_scaling(benchmark):
+    """Class-aware greedy on the largest suite point."""
+    inst = uniform_instance(1000, 40, 80, seed=11, integral=True)
+    result = benchmark(class_aware_list_schedule, inst)
+    assert result.schedule.validate() == []

@@ -1,0 +1,31 @@
+"""F1 — the speed-group structure of Figure 1."""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+from repro.algorithms.ptas import PTASParams, compute_groups, simplify_instance
+from repro.core.bounds import makespan_bounds
+from repro.generators import uniform_instance
+
+
+def test_f1_table(benchmark, scale):
+    """The F1 table: groups overlap and contain every class's core interval."""
+    table = benchmark.pedantic(run_and_print, args=("F1", scale), rounds=1, iterations=1)
+    assert len(table.rows) >= 1
+    machines = sum(row["num_machines"] for row in table.rows)
+    assert machines >= 1
+
+
+@pytest.mark.benchmark(group="f1-groups")
+def test_f1_group_computation_runtime(benchmark):
+    """Wall-clock of simplification + group computation on a wide-speed instance."""
+    inst = uniform_instance(200, 40, 20, seed=12, speed_spread=256.0)
+    params = PTASParams(epsilon=0.25)
+    guess = makespan_bounds(inst).upper
+
+    def build():
+        simplified = simplify_instance(inst, guess, params)
+        return compute_groups(simplified.instance, simplified.inflated_guess, params)
+
+    groups = benchmark(build)
+    assert len(groups.groups_with_machines()) >= 1

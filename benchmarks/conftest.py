@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment of DESIGN.md's experiment
+index (E1–E9, F1) through :mod:`repro.analysis.experiments` and prints the
+resulting table, so running
+
+    pytest benchmarks/ --benchmark-only
+
+reproduces the full empirical evaluation recorded in EXPERIMENTS.md (at the
+"quick" scale; pass ``--scale=full`` for the larger sweeps).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--scale", action="store", default="quick",
+                     choices=("quick", "full"),
+                     help="experiment scale: quick (default) or full")
+
+
+@pytest.fixture(scope="session")
+def scale(request) -> str:
+    """The experiment scale selected on the command line."""
+    return request.config.getoption("--scale")
+
+
+def run_and_print(experiment_id: str, scale: str):
+    """Run one experiment, print its table, persist it, and return it.
+
+    The rendered table is also written to ``benchmarks/results/<id>.txt`` so
+    that the numbers quoted in EXPERIMENTS.md can be regenerated and diffed.
+    """
+    import pathlib
+
+    from repro.analysis import run_experiment
+
+    table = run_experiment(experiment_id, scale)
+    print()
+    print(table.render())
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / f"{experiment_id.upper()}_{scale}.txt").write_text(table.render() + "\n")
+    return table

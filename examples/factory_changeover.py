@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Production-line scenario: machines with changeover (setup) times between product families.
+
+A plant runs a set of press lines of different throughput (uniformly related
+machines).  Orders are grouped into product families; switching a line to a
+new family requires a changeover whose duration is family-specific (tool
+swap, cleaning, calibration) and scales with the line's speed.  The goal is
+to finish the day's orders as early as possible — exactly the uniform
+machines model of Section 2 of the paper.
+
+Run with:  python examples/factory_changeover.py
+"""
+
+import numpy as np
+
+from repro import (
+    Instance,
+    class_oblivious_list_schedule,
+    lpt_uniform_with_setups,
+    makespan_bounds,
+    ptas_uniform,
+)
+
+
+def build_plant_instance(seed: int = 2024) -> Instance:
+    """A day of orders for a stamping plant.
+
+    * 5 press lines with relative throughputs 1.0–3.0;
+    * 8 product families; changing a line to family ``f`` takes between 20
+      and 90 minutes of line time (divided by line speed);
+    * 120 orders; each order's stamping time is 5–60 minutes on the slowest
+      line and is family-correlated (orders of a family have similar sizes).
+    """
+    rng = np.random.default_rng(seed)
+    num_lines, num_families, num_orders = 5, 8, 120
+    speeds = np.round(np.linspace(1.0, 3.0, num_lines), 2)
+    changeover = rng.uniform(20.0, 90.0, size=num_families).round()
+    family_base = rng.uniform(5.0, 60.0, size=num_families)
+    orders_family = rng.integers(0, num_families, size=num_orders)
+    order_minutes = np.maximum(
+        1.0, family_base[orders_family] * rng.uniform(0.6, 1.4, size=num_orders)).round()
+    return Instance.uniform(
+        job_sizes=order_minutes,
+        setup_sizes=changeover,
+        job_classes=orders_family,
+        speeds=speeds,
+        name="stamping-plant-day",
+        meta={"scenario": "factory changeover"},
+    )
+
+
+def main() -> None:
+    plant = build_plant_instance()
+    print(f"instance: {plant}")
+    bounds = makespan_bounds(plant)
+    print(f"lower bound on the optimal makespan: {bounds.lower:.0f} minutes")
+
+    naive = class_oblivious_list_schedule(plant)
+    lpt = lpt_uniform_with_setups(plant)
+    ptas = ptas_uniform(plant, epsilon=0.1)
+
+    print()
+    print(f"{'policy':<42}{'makespan (min)':>16}{'changeovers':>14}")
+    for label, result in [
+        ("ignore families (classic LPT, pay later)", naive),
+        ("family batching (Lemma 2.1 LPT)", lpt),
+        ("family batching (Section 2 PTAS, eps=0.1)", ptas),
+    ]:
+        print(f"{label:<42}{result.makespan:>16.0f}{result.schedule.num_setups():>14d}")
+
+    saved = naive.makespan - ptas.makespan
+    print()
+    print(f"planning changeovers explicitly finishes the day {saved:.0f} minutes earlier "
+          f"({100 * saved / naive.makespan:.1f}% of the naive makespan).")
+
+    # Per-line summary of the best schedule.
+    print()
+    print("best schedule, per line:")
+    best = ptas.schedule
+    for line in range(plant.num_machines):
+        jobs = best.jobs_on(line)
+        families = best.classes_on(line)
+        print(f"  line {line} (speed {plant.speeds[line]:.2f}): "
+              f"{len(jobs):3d} orders, {len(families)} families, "
+              f"busy {best.load(line):6.0f} min")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Reproduce the hardness intuition of Section 3.2 on concrete instances.
+
+The paper shows that scheduling with setup times on unrelated machines
+cannot be approximated within o(log n + log m) unless NP ⊂ RP, via a
+randomized reduction from SetCoverGap.  This script builds the reduction
+for planted SetCover instances of growing size and reports:
+
+* the makespan of the intended schedule when the planted cover is known
+  (the Yes-instance upper bound of the proof of Theorem 3.5),
+* the lower bound every schedule must obey if the instance only admitted
+  covers that are a Θ(log N) factor larger (the No-instance bound), and
+* the classical SetCover integrality gap instance behind Corollary 3.4.
+
+Run with:  python examples/hardness_gap_demo.py
+"""
+
+import math
+
+from repro import (
+    greedy_set_cover,
+    integrality_gap_instance,
+    planted_cover_instance,
+    reduce_to_scheduling,
+)
+from repro.setcover import lp_cover_value
+
+
+def main() -> None:
+    print("SetCoverGap -> scheduling reduction (Theorem 3.5)")
+    print(f"{'N':>5}{'m':>5}{'t':>4}{'K':>6}{'yes makespan':>14}"
+          f"{'no-instance bound':>20}{'gap':>8}")
+    for scale in (2, 3, 4, 5):
+        universe = 8 * scale
+        subsets = 4 * scale
+        t = scale + 1
+        setcover, planted = planted_cover_instance(universe, subsets, t, seed=scale)
+        hardness = reduce_to_scheduling(setcover, t, seed=100 + scale)
+        yes = hardness.schedule_from_cover(planted).makespan()
+        alpha = math.log(universe)  # the Θ(log N) factor of SetCoverGap
+        no_bound = hardness.no_instance_lower_bound(alpha)
+        gap = no_bound / max(yes, 1e-9)
+        print(f"{universe:>5}{subsets:>5}{t:>4}{hardness.num_classes:>6}"
+              f"{yes:>14.1f}{no_bound:>20.1f}{gap:>8.2f}")
+    print()
+    print("The gap between what a Yes-instance admits and what a No-instance forces")
+    print("grows with the Θ(log N) SetCoverGap factor — this is exactly why no")
+    print("o(log n + log m)-approximation can exist for the general problem.")
+
+    print()
+    print("SetCover integrality-gap construction (Corollary 3.4)")
+    print(f"{'q':>3}{'N = 2^q - 1':>13}{'LP value':>10}{'greedy cover':>14}{'gap':>7}")
+    for q in (3, 4, 5, 6):
+        gap_inst = integrality_gap_instance(q)
+        lp = lp_cover_value(gap_inst)
+        integral = len(greedy_set_cover(gap_inst))
+        print(f"{q:>3}{gap_inst.universe_size:>13}{lp:>10.3f}{integral:>14}"
+              f"{integral / lp:>7.2f}")
+    print()
+    print("The fractional optimum stays below 2 while integral covers need Ω(log N)")
+    print("sets — the same gap ILP-UM inherits, matching Corollary 3.4.")
+
+
+if __name__ == "__main__":
+    main()

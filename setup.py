@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+fully offline environments (the legacy editable path needs neither network
+access nor the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""Shared result type for all algorithms."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.core.schedule import Schedule
+
+__all__ = ["AlgorithmResult", "timed"]
+
+
+@dataclass
+class AlgorithmResult:
+    """Uniform return type of every algorithm in :mod:`repro.algorithms`.
+
+    Attributes
+    ----------
+    name:
+        Algorithm identifier (used as the row label in experiment tables).
+    schedule:
+        The produced schedule (always complete and feasible unless the
+        algorithm documents otherwise).
+    makespan:
+        Cached ``schedule.makespan()``.
+    runtime_seconds:
+        Wall-clock time spent inside the algorithm.
+    guarantee:
+        The proven worst-case approximation factor, when one applies to the
+        instance the algorithm was run on (``None`` for heuristics).
+    meta:
+        Algorithm-specific diagnostics (iteration counts, LP values,
+        rounding statistics, …).
+    """
+
+    name: str
+    schedule: Schedule
+    makespan: float
+    runtime_seconds: float = 0.0
+    guarantee: Optional[float] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @staticmethod
+    def from_schedule(name: str, schedule: Schedule, *, runtime: float = 0.0,
+                      guarantee: Optional[float] = None,
+                      meta: Optional[Dict[str, object]] = None) -> "AlgorithmResult":
+        """Build a result, computing and caching the makespan."""
+        return AlgorithmResult(
+            name=name,
+            schedule=schedule,
+            makespan=schedule.makespan(),
+            runtime_seconds=runtime,
+            guarantee=guarantee,
+            meta=dict(meta or {}),
+        )
+
+    def ratio_to(self, reference_makespan: float) -> float:
+        """Makespan ratio against a reference value (e.g. OPT or a lower bound)."""
+        if reference_makespan <= 0:
+            return float("inf") if self.makespan > 0 else 1.0
+        return self.makespan / reference_makespan
+
+    def __repr__(self) -> str:
+        g = f", guarantee={self.guarantee:g}" if self.guarantee is not None else ""
+        return (f"AlgorithmResult({self.name!r}, makespan={self.makespan:.4g}, "
+                f"time={self.runtime_seconds:.3g}s{g})")
+
+
+@contextmanager
+def timed() -> Iterator[list]:
+    """Context manager collecting elapsed wall-clock seconds into a one-item list."""
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

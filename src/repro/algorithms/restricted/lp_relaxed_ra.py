@@ -1,0 +1,185 @@
+"""LP-RelaxedRA: the class-level linear program of Section 3.3.
+
+For a makespan guess ``T`` the program has one variable ``x̄_ik`` per
+(machine, non-empty class) pair giving the *fraction of the workload* of
+class ``k`` processed on machine ``i``:
+
+.. math::
+
+    \\sum_k \\bar x_{ik} (\\bar p_{ik} + \\alpha_{ik} s_{ik}) \\le T
+        \\qquad \\forall i                           \\tag{11}
+
+    \\sum_i \\bar x_{ik} = 1 \\qquad \\forall k        \\tag{12}
+
+    \\bar x_{ik} \\ge 0                              \\tag{13}
+
+    \\bar x_{ik} = 0 \\text{ if } s_{ik} > T          \\tag{14}
+
+with ``p̄_ik`` the total workload of class ``k`` on machine ``i`` (``∞`` if
+some job of the class is ineligible there) and
+``α_ik = max{1, p̄_ik / (T - s_ik)}``.
+
+For the class-uniform processing-times case (Section 3.3.2), constraint
+(14) is replaced by (16): ``x̄_ik = 0`` whenever ``s_ik + p_ij > T`` for the
+(common) per-job processing time of class ``k`` on machine ``i``.
+
+An *extreme point* (vertex) solution is requested from the simplex backend
+because the subsequent rounding relies on the support graph being a
+pseudo-forest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.lp.model import Model, ObjectiveSense
+from repro.lp.solution import SolutionStatus
+
+__all__ = ["RelaxedRAResult", "solve_lp_relaxed_ra", "class_workload_matrix"]
+
+
+@dataclass
+class RelaxedRAResult:
+    """Solution of LP-RelaxedRA for a makespan guess.
+
+    Attributes
+    ----------
+    feasible:
+        Whether the LP admits a solution for the guess.
+    guess:
+        The makespan guess ``T``.
+    x:
+        ``(m, K)`` array of class fractions ``x̄_ik`` (0 where no variable
+        existed).
+    workload:
+        ``(m, K)`` array of class workloads ``p̄_ik`` (``inf`` marks
+        ineligibility).
+    per_job_time:
+        ``(m, K)`` array of the common per-job processing time of each class
+        (only meaningful in the class-uniform processing-times variant;
+        ``nan`` otherwise).
+    """
+
+    feasible: bool
+    guess: float
+    x: np.ndarray
+    workload: np.ndarray
+    per_job_time: np.ndarray
+
+
+def class_workload_matrix(instance: Instance) -> np.ndarray:
+    """``p̄_ik`` for every machine and class (``inf`` where ineligible)."""
+    inst = instance
+    workload = np.zeros((inst.num_machines, inst.num_classes))
+    for k in range(inst.num_classes):
+        members = inst.jobs_of_class(k)
+        if members.size == 0:
+            continue
+        block = inst.processing[:, members]
+        sums = block.sum(axis=1)
+        sums = np.where(np.isfinite(block).all(axis=1), sums, np.inf)
+        workload[:, k] = sums
+    return workload
+
+
+def _per_job_time_matrix(instance: Instance) -> np.ndarray:
+    """The common per-job processing time of each class on each machine.
+
+    ``nan`` if a class is empty; ``inf`` if the class is ineligible on the
+    machine.  Assumes (and does not verify) class-uniform processing times —
+    callers that need the guarantee check
+    :meth:`Instance.has_class_uniform_processing_times` first.
+    """
+    inst = instance
+    times = np.full((inst.num_machines, inst.num_classes), np.nan)
+    for k in range(inst.num_classes):
+        members = inst.jobs_of_class(k)
+        if members.size == 0:
+            continue
+        times[:, k] = inst.processing[:, members[0]]
+    return times
+
+
+def solve_lp_relaxed_ra(
+    instance: Instance,
+    guess: float,
+    *,
+    variant: str = "restrictions",
+    tolerance: float = 1e-9,
+) -> RelaxedRAResult:
+    """Solve LP-RelaxedRA for makespan guess ``guess``.
+
+    Parameters
+    ----------
+    variant:
+        ``"restrictions"`` uses constraint (14) (Section 3.3.1);
+        ``"ptimes"`` uses constraint (16) (Section 3.3.2).
+    """
+    if variant not in ("restrictions", "ptimes"):
+        raise ValueError("variant must be 'restrictions' or 'ptimes'")
+    inst = instance
+    workload = class_workload_matrix(inst)
+    per_job = _per_job_time_matrix(inst)
+    classes = [int(k) for k in inst.classes_present()]
+
+    model = Model(f"lp-relaxed-ra-{inst.name}")
+    x_vars: Dict[Tuple[int, int], object] = {}
+    for k in classes:
+        for i in range(inst.num_machines):
+            s = inst.setups[i, k]
+            w = workload[i, k]
+            if not np.isfinite(s) or not np.isfinite(w):
+                continue
+            if variant == "restrictions":
+                if s > guess + tolerance:
+                    continue  # constraint (14)
+            else:
+                # constraint (16): the per-job time plus setup must fit.
+                if s + per_job[i, k] > guess + tolerance:
+                    continue
+            x_vars[i, k] = model.add_var(f"x[{i},{k}]", lower=0.0, upper=1.0)
+
+    # Constraint (12): each (non-empty) class fully distributed.
+    for k in classes:
+        vars_k = [x_vars[i, k] for i in range(inst.num_machines) if (i, k) in x_vars]
+        if not vars_k:
+            return RelaxedRAResult(False, float(guess),
+                                   np.zeros_like(workload), workload, per_job)
+        model.add_constraint(sum(v for v in vars_k), "==", 1.0, name=f"dist[{k}]")
+
+    # Constraint (11): machine capacity with the α_ik surcharge.
+    for i in range(inst.num_machines):
+        terms = []
+        for k in classes:
+            if (i, k) not in x_vars:
+                continue
+            s = float(inst.setups[i, k])
+            w = float(workload[i, k])
+            denom = guess - s
+            alpha = 1.0 if denom <= 0 else max(1.0, w / denom) if denom > 0 else 1.0
+            if denom <= 0:
+                # s == guess (within tolerance): the class can only be placed
+                # here with zero workload; α is irrelevant but keep it finite.
+                alpha = 1.0
+            terms.append((x_vars[i, k], w + alpha * s))
+        if not terms:
+            continue
+        expr = sum(coeff * var for var, coeff in terms)
+        model.add_constraint(expr, "<=", float(guess), name=f"cap[{i}]")
+
+    # Any feasible point suffices; minimise total setup surcharge to bias the
+    # solver toward sparse supports (still a vertex of the same polytope).
+    objective = sum(float(inst.setups[i, k]) * var for (i, k), var in x_vars.items())
+    model.set_objective(objective if x_vars else 0.0, sense=ObjectiveSense.MINIMIZE)
+    sol = model.solve(vertex=True)
+    if sol.status is not SolutionStatus.OPTIMAL:
+        return RelaxedRAResult(False, float(guess),
+                               np.zeros_like(workload), workload, per_job)
+    x = np.zeros((inst.num_machines, inst.num_classes))
+    for (i, k), var in x_vars.items():
+        x[i, k] = max(0.0, float(sol.value(var)))
+    return RelaxedRAResult(True, float(guess), x, workload, per_job)

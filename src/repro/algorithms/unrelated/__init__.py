@@ -1,0 +1,27 @@
+"""Algorithms for unrelated machines (Section 3 of the paper).
+
+* :mod:`repro.algorithms.unrelated.lp_relaxation` — the linear relaxation of
+  ILP-UM for a fixed makespan guess ``T`` (constraints (1)–(5) with
+  ``0 ≤ x, y ≤ 1``).
+* :mod:`repro.algorithms.unrelated.lp_rounding` — the randomized rounding
+  decision procedure of Section 3.1 and the
+  ``O(log n + log m)``-approximation obtained by wrapping it in the dual
+  approximation framework.
+"""
+
+from repro.algorithms.unrelated.lp_relaxation import LPRelaxationResult, solve_ilp_um_relaxation
+from repro.algorithms.unrelated.lp_rounding import (
+    RoundingStats,
+    randomized_rounding_approximation,
+    randomized_rounding_decision,
+    theoretical_ratio_bound,
+)
+
+__all__ = [
+    "LPRelaxationResult",
+    "solve_ilp_um_relaxation",
+    "RoundingStats",
+    "randomized_rounding_decision",
+    "randomized_rounding_approximation",
+    "theoretical_ratio_bound",
+]

@@ -1,0 +1,129 @@
+"""The linear relaxation of ILP-UM for a fixed makespan guess ``T``.
+
+This is the fractional program the randomized rounding of Section 3.1
+rounds: constraints (1)–(5) of ILP-UM with the integrality constraint (3)
+replaced by ``0 ≤ x_ij, y_ik ≤ 1``.  The feasibility question "is there a
+fractional solution for guess ``T``?" is answered by minimising the maximum
+machine load under constraints (2), (4), (5) and checking whether the
+optimum is at most ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.lp.model import Model, ObjectiveSense
+from repro.lp.solution import SolutionStatus
+
+__all__ = ["LPRelaxationResult", "solve_ilp_um_relaxation"]
+
+
+@dataclass
+class LPRelaxationResult:
+    """Fractional solution of the ILP-UM relaxation for a makespan guess ``T``.
+
+    Attributes
+    ----------
+    feasible:
+        Whether a fractional solution with maximum load at most ``T`` exists
+        (within a small numerical tolerance).
+    guess:
+        The makespan guess the relaxation was solved for.
+    fractional_makespan:
+        The minimum achievable fractional maximum load under constraint (5)
+        for this guess.
+    x:
+        ``(m, n)`` array of fractional assignment values ``x_ij`` (zero for
+        pairs excluded by constraint (5) / ineligibility).
+    y:
+        ``(m, K)`` array of fractional setup values ``y_ik``.
+    """
+
+    feasible: bool
+    guess: float
+    fractional_makespan: float
+    x: np.ndarray
+    y: np.ndarray
+
+    def job_distribution(self, job: int) -> np.ndarray:
+        """The fractional distribution of ``job`` over machines (sums to 1 when feasible)."""
+        return self.x[:, job]
+
+
+def solve_ilp_um_relaxation(instance: Instance, guess: float,
+                            *, tolerance: float = 1e-6) -> LPRelaxationResult:
+    """Solve the LP relaxation of ILP-UM for makespan guess ``guess``.
+
+    The LP minimises an auxiliary variable ``Z`` bounding every machine load
+    (so the call both answers feasibility for ``guess`` and returns the best
+    fractional load achievable under the guess-dependent eligibility
+    filtering of constraint (5)).
+    """
+    inst = instance
+    model = Model(f"lp-um-{inst.name}")
+    z = model.add_var("Z", lower=0.0)
+    x_vars: Dict[Tuple[int, int], object] = {}
+    y_vars: Dict[Tuple[int, int], object] = {}
+    for i in range(inst.num_machines):
+        for k in range(inst.num_classes):
+            s = inst.setups[i, k]
+            if np.isfinite(s) and s <= guess + tolerance:
+                y_vars[i, k] = model.add_var(f"y[{i},{k}]", lower=0.0, upper=1.0)
+        for j in range(inst.num_jobs):
+            p = inst.processing[i, j]
+            if not np.isfinite(p) or p > guess + tolerance:
+                continue  # ineligible or filtered by constraint (5)
+            k = inst.job_class(j)
+            if (i, k) not in y_vars:
+                continue
+            x_vars[i, j] = model.add_var(f"x[{i},{j}]", lower=0.0, upper=1.0)
+
+    # Constraint (2): every job fully assigned.  If some job lost all its
+    # machines to the filtering, the guess is infeasible outright.
+    for j in range(inst.num_jobs):
+        vars_j = [x_vars[i, j] for i in range(inst.num_machines) if (i, j) in x_vars]
+        if not vars_j:
+            return LPRelaxationResult(
+                feasible=False, guess=float(guess), fractional_makespan=float("inf"),
+                x=np.zeros((inst.num_machines, inst.num_jobs)),
+                y=np.zeros((inst.num_machines, inst.num_classes)))
+        model.add_constraint(sum(v for v in vars_j), "==", 1.0, name=f"assign[{j}]")
+
+    # Constraint (1): machine loads bounded by Z.
+    for i in range(inst.num_machines):
+        terms = [(x_vars[i, j], float(inst.processing[i, j]))
+                 for j in range(inst.num_jobs) if (i, j) in x_vars]
+        terms += [(y_vars[i, k], float(inst.setups[i, k]))
+                  for k in range(inst.num_classes) if (i, k) in y_vars]
+        if not terms:
+            continue
+        expr = sum(coeff * var for var, coeff in terms) - z
+        model.add_constraint(expr, "<=", 0.0, name=f"load[{i}]")
+
+    # Constraint (4): setup coupling.
+    for (i, j), var in x_vars.items():
+        k = inst.job_class(j)
+        model.add_constraint(var - y_vars[i, k], "<=", 0.0, name=f"couple[{i},{j}]")
+
+    model.set_objective(z, sense=ObjectiveSense.MINIMIZE)
+    sol = model.solve()
+    if sol.status is not SolutionStatus.OPTIMAL:
+        return LPRelaxationResult(
+            feasible=False, guess=float(guess), fractional_makespan=float("inf"),
+            x=np.zeros((inst.num_machines, inst.num_jobs)),
+            y=np.zeros((inst.num_machines, inst.num_classes)))
+
+    x = np.zeros((inst.num_machines, inst.num_jobs))
+    y = np.zeros((inst.num_machines, inst.num_classes))
+    for (i, j), var in x_vars.items():
+        x[i, j] = max(0.0, sol.value(var))
+    for (i, k), var in y_vars.items():
+        y[i, k] = max(0.0, sol.value(var))
+    fractional = float(sol.objective)
+    feasible = fractional <= guess * (1.0 + 1e-9) + tolerance
+    return LPRelaxationResult(
+        feasible=feasible, guess=float(guess), fractional_makespan=fractional, x=x, y=y)

@@ -1,0 +1,412 @@
+"""The experiment registry (one function per row of DESIGN.md's experiment index).
+
+Every function returns a :class:`repro.analysis.tables.ResultTable`; the
+benchmark harness (``benchmarks/``) times the function and prints the table,
+and EXPERIMENTS.md records the headline numbers.  All experiments are seeded
+through :mod:`repro.generators.suites`, so re-running them reproduces the
+same rows.
+
+The paper itself contains no empirical evaluation (it is a theory paper);
+the experiments here verify each proven guarantee empirically and
+regenerate the structural content of Figure 1.  ``scale`` trades instance
+count/size against runtime: ``"quick"`` is used by the pytest-benchmark
+harness, ``"full"`` by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.algorithms import (
+    best_machine_schedule,
+    class_aware_list_schedule,
+    class_oblivious_list_schedule,
+    lpt_uniform_with_setups,
+    lpt_without_setups,
+    milp_optimal,
+)
+from repro.algorithms.lpt import LPT_GUARANTEE
+from repro.algorithms.ptas import PTASParams, compute_groups, ptas_uniform, simplify_instance
+from repro.algorithms.restricted import (
+    class_uniform_ptimes_approximation,
+    class_uniform_restrictions_approximation,
+)
+from repro.algorithms.unrelated import (
+    randomized_rounding_approximation,
+    theoretical_ratio_bound,
+)
+from repro.analysis.ratios import reference_makespan
+from repro.analysis.tables import ResultTable
+from repro.core.bounds import greedy_upper_bound, lower_bound, lp_lower_bound, makespan_bounds
+from repro.core.dual import dual_approximation_search
+from repro.generators import uniform_instance
+from repro.generators.suites import SUITES, iter_suite
+from repro.setcover import (
+    greedy_set_cover,
+    integrality_gap_instance,
+    lp_cover_value,
+    planted_cover_instance,
+    reduce_to_scheduling,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_e1_lpt",
+    "experiment_e2_ptas",
+    "experiment_e3_randomized_rounding",
+    "experiment_e4_hardness_gap",
+    "experiment_e5_class_uniform_restrictions",
+    "experiment_e6_class_uniform_ptimes",
+    "experiment_e7_baselines",
+    "experiment_e8_dual_search",
+    "experiment_e9_scalability",
+    "experiment_f1_speed_groups",
+]
+
+
+def _limit(iterable, quick: bool, quick_count: int):
+    items = list(iterable)
+    return items[:quick_count] if quick else items
+
+
+# ---------------------------------------------------------------------------
+# E1 — LPT with setup placeholders (Lemma 2.1)
+# ---------------------------------------------------------------------------
+def experiment_e1_lpt(scale: str = "quick") -> ResultTable:
+    """Measured ratio of the Lemma 2.1 LPT algorithm vs its 4.74 guarantee."""
+    quick = scale == "quick"
+    table = ResultTable(
+        title="E1: LPT with setup placeholders on uniform machines (Lemma 2.1)",
+        columns=["n", "m", "K", "setup_regime", "reference", "lpt_ratio",
+                 "plain_lpt_ratio", "guarantee"],
+    )
+    for params, seed, inst in _limit(iter_suite(SUITES["e1_lpt_uniform"]), quick, 5):
+        ref = reference_makespan(inst, exact_limit=700 if quick else 2000)
+        lpt = lpt_uniform_with_setups(inst)
+        plain = lpt_without_setups(inst)
+        table.add_row(
+            n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes,
+            setup_regime=params.get("setup_regime", "comparable"),
+            reference=ref.kind,
+            lpt_ratio=lpt.ratio_to(ref.value),
+            plain_lpt_ratio=plain.ratio_to(ref.value),
+            guarantee=LPT_GUARANTEE,
+        )
+    table.add_note("expected shape: lpt_ratio stays well below the 4.74 guarantee and "
+                   "below the class-oblivious plain LPT on dominant-setup instances")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E2 — PTAS for uniform machines (Section 2)
+# ---------------------------------------------------------------------------
+def experiment_e2_ptas(scale: str = "quick") -> ResultTable:
+    """Measured PTAS ratio and runtime as ε shrinks."""
+    quick = scale == "quick"
+    epsilons = [0.5, 0.25, 0.1] if quick else [0.5, 0.25, 0.1, 0.05]
+    table = ResultTable(
+        title="E2: PTAS on uniform machines (Section 2.1) — ratio vs epsilon",
+        columns=["epsilon", "instances", "mean_ratio", "max_ratio", "mean_runtime_s",
+                 "lpt_mean_ratio"],
+    )
+    instances = _limit(iter_suite(SUITES["e2_ptas_uniform"]), quick, 4)
+    for eps in epsilons:
+        ratios, lpt_ratios, runtimes = [], [], []
+        for _params, _seed, inst in instances:
+            ref = reference_makespan(inst, exact_limit=500)
+            result = ptas_uniform(inst, epsilon=eps)
+            ratios.append(result.ratio_to(ref.value))
+            lpt_ratios.append(lpt_uniform_with_setups(inst).ratio_to(ref.value))
+            runtimes.append(result.runtime_seconds)
+        table.add_row(
+            epsilon=eps, instances=len(instances),
+            mean_ratio=float(np.mean(ratios)), max_ratio=float(np.max(ratios)),
+            mean_runtime_s=float(np.mean(runtimes)),
+            lpt_mean_ratio=float(np.mean(lpt_ratios)),
+        )
+    table.add_note("expected shape: mean_ratio decreases toward 1 as epsilon shrinks "
+                   "and beats the LPT baseline; runtime grows as epsilon shrinks")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E3 — randomized rounding on unrelated machines (Section 3.1)
+# ---------------------------------------------------------------------------
+def experiment_e3_randomized_rounding(scale: str = "quick") -> ResultTable:
+    """Measured rounding ratio against the LP lower bound and the Chernoff bound."""
+    quick = scale == "quick"
+    table = ResultTable(
+        title="E3: randomized LP rounding on unrelated machines (Theorem 3.3)",
+        columns=["n", "m", "K", "correlation", "reference", "ratio",
+                 "theoretical_bound", "greedy_ratio"],
+    )
+    for params, seed, inst in _limit(iter_suite(SUITES["e3_randomized_rounding"]), quick, 4):
+        ref = reference_makespan(inst, exact_limit=500 if quick else 1200)
+        rounding = randomized_rounding_approximation(inst, seed=seed, restarts=1 if quick else 3)
+        greedy = class_aware_list_schedule(inst)
+        table.add_row(
+            n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes,
+            correlation=params.get("correlation", "uncorrelated"),
+            reference=ref.kind,
+            ratio=rounding.ratio_to(ref.value),
+            theoretical_bound=theoretical_ratio_bound(inst.num_jobs, inst.num_machines),
+            greedy_ratio=greedy.ratio_to(ref.value),
+        )
+    table.add_note("expected shape: measured ratio stays far below the O(log n + log m) "
+                   "bound on benign instances and grows with n·m on adversarial ones (see E4)")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E4 — hardness construction (Section 3.2)
+# ---------------------------------------------------------------------------
+def experiment_e4_hardness_gap(scale: str = "quick") -> ResultTable:
+    """Yes/No makespan gap of the SetCoverGap reduction and the SetCover LP gap."""
+    quick = scale == "quick"
+    qs = [3, 4] if quick else [3, 4, 5, 6]
+    table = ResultTable(
+        title="E4: hardness construction (Theorem 3.5) — Yes/No gap and integrality gap",
+        columns=["universe", "subsets", "t", "K", "yes_makespan", "greedy_makespan",
+                 "no_lower_bound(alpha=lnN)", "sc_lp_value", "sc_greedy_size"],
+    )
+    rng_seed = 20190415
+    for q in qs:
+        # Planted Yes-instance: t disjoint sets cover the universe.
+        universe = 4 * q
+        num_subsets = 2 * q
+        t = max(2, q - 1)
+        setcover, planted = planted_cover_instance(universe, num_subsets, t, seed=rng_seed + q)
+        hardness = reduce_to_scheduling(setcover, t, seed=rng_seed + 100 + q)
+        yes_schedule = hardness.schedule_from_cover(planted)
+        greedy_cover = greedy_set_cover(setcover)
+        greedy_schedule = hardness.schedule_from_cover(greedy_cover)
+        alpha = math.log(max(universe, 2))
+        gap_inst = integrality_gap_instance(q)
+        table.add_row(
+            universe=universe, subsets=num_subsets, t=t, K=hardness.num_classes,
+            yes_makespan=yes_schedule.makespan(),
+            greedy_makespan=greedy_schedule.makespan(),
+            **{"no_lower_bound(alpha=lnN)": hardness.no_instance_lower_bound(alpha)},
+            sc_lp_value=lp_cover_value(gap_inst),
+            sc_greedy_size=len(greedy_set_cover(gap_inst)),
+        )
+    table.add_note("expected shape: yes_makespan stays near (K/m)·t while the no-instance "
+                   "lower bound grows by the Θ(log N) factor alpha; the SetCover LP value "
+                   "stays < 2 while the integral cover needs ≥ q sets (Ω(log N) gap)")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E5 / E6 — constant-factor special cases (Section 3.3)
+# ---------------------------------------------------------------------------
+def experiment_e5_class_uniform_restrictions(scale: str = "quick") -> ResultTable:
+    """Measured ratio of the 2-approximation of Theorem 3.10."""
+    quick = scale == "quick"
+    table = ResultTable(
+        title="E5: restricted assignment with class-uniform restrictions (Theorem 3.10)",
+        columns=["n", "m", "K", "reference", "ratio", "guarantee", "greedy_ratio"],
+    )
+    for params, seed, inst in _limit(iter_suite(SUITES["e5_class_uniform_restrictions"]),
+                                     quick, 4):
+        ref = reference_makespan(inst, exact_limit=500 if quick else 1500)
+        result = class_uniform_restrictions_approximation(inst)
+        greedy = class_aware_list_schedule(inst)
+        table.add_row(
+            n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes, reference=ref.kind,
+            ratio=result.ratio_to(ref.value), guarantee=2.0,
+            greedy_ratio=greedy.ratio_to(ref.value),
+        )
+    table.add_note("expected shape: every measured ratio is at most 2 (plus the binary-search "
+                   "slack), matching Theorem 3.10")
+    return table
+
+
+def experiment_e6_class_uniform_ptimes(scale: str = "quick") -> ResultTable:
+    """Measured ratio of the 3-approximation of Theorem 3.11."""
+    quick = scale == "quick"
+    table = ResultTable(
+        title="E6: unrelated machines with class-uniform processing times (Theorem 3.11)",
+        columns=["n", "m", "K", "reference", "ratio", "guarantee", "rounding_ratio"],
+    )
+    for params, seed, inst in _limit(iter_suite(SUITES["e6_class_uniform_ptimes"]), quick, 4):
+        ref = reference_makespan(inst, exact_limit=500 if quick else 1500)
+        result = class_uniform_ptimes_approximation(inst)
+        rounding = randomized_rounding_approximation(inst, seed=seed, restarts=1)
+        table.add_row(
+            n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes, reference=ref.kind,
+            ratio=result.ratio_to(ref.value), guarantee=3.0,
+            rounding_ratio=rounding.ratio_to(ref.value),
+        )
+    table.add_note("expected shape: every measured ratio is at most 3; the specialised "
+                   "algorithm is competitive with (and its guarantee much stronger than) "
+                   "the generic randomized rounding")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E7 — baselines (motivation)
+# ---------------------------------------------------------------------------
+def experiment_e7_baselines(scale: str = "quick") -> ResultTable:
+    """Class-aware vs class-oblivious scheduling across setup regimes."""
+    quick = scale == "quick"
+    table = ResultTable(
+        title="E7: class-aware vs class-oblivious baselines across setup regimes",
+        columns=["environment", "setup_regime", "reference", "class_oblivious_ratio",
+                 "class_aware_ratio", "lpt_with_setups_ratio", "best_machine_ratio"],
+    )
+    for params, seed, inst in _limit(iter_suite(SUITES["e7_baselines_uniform"]), quick, 3):
+        ref = reference_makespan(inst, exact_limit=600)
+        table.add_row(
+            environment="uniform", setup_regime=params.get("setup_regime"),
+            reference=ref.kind,
+            class_oblivious_ratio=class_oblivious_list_schedule(inst).ratio_to(ref.value),
+            class_aware_ratio=class_aware_list_schedule(inst).ratio_to(ref.value),
+            lpt_with_setups_ratio=lpt_uniform_with_setups(inst).ratio_to(ref.value),
+            best_machine_ratio=best_machine_schedule(inst).ratio_to(ref.value),
+        )
+    for params, seed, inst in _limit(iter_suite(SUITES["e7_baselines_unrelated"]), quick, 2):
+        ref = reference_makespan(inst, exact_limit=600)
+        setup_range = params.get("setup_range", (1.0, 100.0))
+        regime = "dominant" if setup_range[0] >= 50 else "small"
+        table.add_row(
+            environment="unrelated", setup_regime=regime, reference=ref.kind,
+            class_oblivious_ratio=class_oblivious_list_schedule(inst).ratio_to(ref.value),
+            class_aware_ratio=class_aware_list_schedule(inst).ratio_to(ref.value),
+            best_machine_ratio=best_machine_schedule(inst).ratio_to(ref.value),
+        )
+    table.add_note("expected shape: class-oblivious scheduling degrades as setups grow "
+                   "(dominant regime) while class-aware algorithms stay bounded — the "
+                   "motivation of the paper's model")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E8 — dual approximation search behaviour
+# ---------------------------------------------------------------------------
+def experiment_e8_dual_search(scale: str = "quick") -> ResultTable:
+    """Convergence of the dual-approximation binary search (Section 1.1.1)."""
+    quick = scale == "quick"
+    table = ResultTable(
+        title="E8: dual-approximation binary search convergence",
+        columns=["n", "m", "precision", "iterations", "accepted_guess", "initial_gap",
+                 "final_gap"],
+    )
+    for params, seed, inst in _limit(iter_suite(SUITES["e8_dual_search"]), quick, 2):
+        bounds = makespan_bounds(inst)
+        for precision in ([0.1, 0.02] if quick else [0.2, 0.1, 0.05, 0.02, 0.01]):
+            def decision(guess: float):
+                _, schedule = greedy_upper_bound(inst)
+                return schedule if schedule.makespan() <= 3.0 * guess else None
+
+            result = dual_approximation_search(inst, decision, precision=precision,
+                                               bounds=bounds)
+            final_gap = (result.accepted_guess / result.rejected_guess
+                         if result.rejected_guess else float("nan"))
+            table.add_row(
+                n=inst.num_jobs, m=inst.num_machines, precision=precision,
+                iterations=result.iterations, accepted_guess=result.accepted_guess,
+                initial_gap=bounds.width(), final_gap=final_gap,
+            )
+    table.add_note("expected shape: iterations grow logarithmically as the precision shrinks; "
+                   "the final accepted/rejected gap is at most 1+precision")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# E9 — scalability
+# ---------------------------------------------------------------------------
+def experiment_e9_scalability(scale: str = "quick") -> ResultTable:
+    """Runtime of the polynomial-time algorithms as n, m, K grow."""
+    quick = scale == "quick"
+    table = ResultTable(
+        title="E9: runtime scalability of the polynomial-time algorithms",
+        columns=["n", "m", "K", "lpt_s", "greedy_s", "ptas_eps0.25_s", "lp_lower_bound_s"],
+    )
+    points = _limit(iter_suite(SUITES["e9_scalability"]), quick, 2)
+    for params, seed, inst in points:
+        t0 = time.perf_counter()
+        lpt_uniform_with_setups(inst)
+        t_lpt = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        class_aware_list_schedule(inst)
+        t_greedy = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ptas_uniform(inst, epsilon=0.25)
+        t_ptas = time.perf_counter() - t0
+        t_lp = float("nan")
+        if inst.num_jobs * inst.num_machines <= 20000:
+            t0 = time.perf_counter()
+            lp_lower_bound(inst)
+            t_lp = time.perf_counter() - t0
+        table.add_row(n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes,
+                      **{"lpt_s": t_lpt, "greedy_s": t_greedy,
+                         "ptas_eps0.25_s": t_ptas, "lp_lower_bound_s": t_lp})
+    table.add_note("expected shape: near-linear growth for LPT/greedy, polynomial for the "
+                   "PTAS decision and the LP")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# F1 — Figure 1 (speed groups)
+# ---------------------------------------------------------------------------
+def experiment_f1_speed_groups(scale: str = "quick") -> ResultTable:
+    """Regenerate the structural content of Figure 1 for a generated instance."""
+    quick = scale == "quick"
+    spec = SUITES["f1_speed_groups"]
+    params, seed, inst = next(iter(iter_suite(spec)))
+    eps = 0.25
+    ptas_params = PTASParams(epsilon=eps)
+    guess = makespan_bounds(inst).upper
+    simplified = simplify_instance(inst, guess, ptas_params)
+    assert simplified is not None
+    groups = compute_groups(simplified.instance, simplified.inflated_guess, ptas_params)
+    table = ResultTable(
+        title="F1: speed groups and per-class core intervals (Figure 1)",
+        columns=["group", "speed_low", "speed_high", "num_machines", "classes_with_core_group",
+                 "fringe_jobs_native_here"],
+    )
+    present = groups.groups_with_machines()
+    for g in present:
+        lo, hi = groups.group_bounds(g)
+        classes_here = [k for k in range(simplified.instance.num_classes)
+                        if int(groups.class_core_group[k]) == g]
+        table.add_row(
+            group=g, speed_low=lo, speed_high=hi,
+            num_machines=len(groups.machines_only_in_group(g)),
+            classes_with_core_group=len(classes_here),
+            fringe_jobs_native_here=len(groups.fringe_jobs_with_native_group(g)),
+        )
+    table.add_note("groups overlap pairwise (each speed lies in exactly two consecutive "
+                   "groups); per-class core-machine speed intervals are fully contained in "
+                   "the class's core group, as sketched in Figure 1")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+EXPERIMENTS: Dict[str, Callable[[str], ResultTable]] = {
+    "E1": experiment_e1_lpt,
+    "E2": experiment_e2_ptas,
+    "E3": experiment_e3_randomized_rounding,
+    "E4": experiment_e4_hardness_gap,
+    "E5": experiment_e5_class_uniform_restrictions,
+    "E6": experiment_e6_class_uniform_ptimes,
+    "E7": experiment_e7_baselines,
+    "E8": experiment_e8_dual_search,
+    "E9": experiment_e9_scalability,
+    "F1": experiment_f1_speed_groups,
+}
+
+
+def run_experiment(experiment_id: str, scale: str = "quick") -> ResultTable:
+    """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key](scale)

@@ -1,0 +1,82 @@
+"""Measuring approximation ratios against exact optima or LP lower bounds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.algorithms.base import AlgorithmResult
+from repro.algorithms.exact import milp_optimal
+from repro.core.bounds import lower_bound, lp_lower_bound
+from repro.core.instance import Instance
+
+__all__ = ["ReferenceBound", "reference_makespan", "compare_algorithms"]
+
+
+@dataclass(frozen=True)
+class ReferenceBound:
+    """A reference value used as the denominator of measured ratios.
+
+    Attributes
+    ----------
+    value:
+        The reference makespan (a lower bound on, or equal to, ``|Opt|``).
+    kind:
+        ``"optimal"`` when it is the exact MILP optimum, ``"lp"`` for the LP
+        lower bound, ``"combinatorial"`` for the cheap combinatorial bound.
+        Ratios measured against a lower bound over-estimate the true
+        approximation ratio, so the comparison with the paper's guarantees
+        stays sound.
+    """
+
+    value: float
+    kind: str
+
+
+def reference_makespan(instance: Instance, *, exact_limit: int = 600,
+                       time_limit: float = 60.0) -> ReferenceBound:
+    """Pick the strongest affordable reference for an instance.
+
+    The exact MILP is used when the number of assignment variables
+    ``n·m + K·m`` does not exceed ``exact_limit``; otherwise the LP lower
+    bound; the combinatorial bound is a last resort (it needs no solver).
+    """
+    size = instance.num_jobs * instance.num_machines + instance.num_classes * instance.num_machines
+    if size <= exact_limit:
+        try:
+            opt = milp_optimal(instance, time_limit=time_limit)
+            return ReferenceBound(value=opt.makespan, kind="optimal")
+        except RuntimeError:
+            pass
+    try:
+        return ReferenceBound(value=lp_lower_bound(instance), kind="lp")
+    except Exception:
+        return ReferenceBound(value=lower_bound(instance), kind="combinatorial")
+
+
+def compare_algorithms(
+    instance: Instance,
+    algorithms: Dict[str, Callable[[Instance], AlgorithmResult]],
+    *,
+    reference: Optional[ReferenceBound] = None,
+    exact_limit: int = 600,
+) -> Dict[str, Dict[str, float]]:
+    """Run every algorithm on ``instance`` and measure ratios to the reference.
+
+    Returns ``{algorithm_name: {"makespan", "ratio", "runtime", "guarantee"}}``
+    plus a ``"_reference"`` entry describing the denominator.
+    """
+    ref = reference if reference is not None else reference_makespan(instance,
+                                                                     exact_limit=exact_limit)
+    out: Dict[str, Dict[str, float]] = {
+        "_reference": {"value": ref.value, "kind": ref.kind},  # type: ignore[dict-item]
+    }
+    for name, algorithm in algorithms.items():
+        result = algorithm(instance)
+        out[name] = {
+            "makespan": result.makespan,
+            "ratio": result.ratio_to(ref.value),
+            "runtime": result.runtime_seconds,
+            "guarantee": result.guarantee if result.guarantee is not None else float("nan"),
+        }
+    return out

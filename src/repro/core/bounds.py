@@ -1,0 +1,184 @@
+"""Lower and upper bounds on the optimal makespan.
+
+The dual approximation framework (Section 1.1.1) needs an interval that is
+guaranteed to contain ``|Opt|``.  This module provides:
+
+* combinatorial lower bounds valid in every machine environment
+  (:func:`lower_bound`);
+* the LP lower bound obtained from the relaxation of ILP-UM with the
+  makespan as a variable (:func:`lp_lower_bound`) — also used to normalise
+  measured approximation ratios on instances too large for the exact MILP;
+* a cheap feasible schedule giving an upper bound (:func:`greedy_upper_bound`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.lp.model import Model, ObjectiveSense
+from repro.lp.solution import SolutionStatus
+
+__all__ = [
+    "BoundReport",
+    "lower_bound",
+    "lp_lower_bound",
+    "greedy_upper_bound",
+    "makespan_bounds",
+]
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """Bundle of the lower/upper bounds computed for an instance."""
+
+    lower: float
+    upper: float
+    lp_lower: Optional[float] = None
+    upper_schedule: Optional[Schedule] = None
+
+    def width(self) -> float:
+        """Multiplicative gap between the bounds (``upper / lower``)."""
+        if self.lower <= 0:
+            return float("inf") if self.upper > 0 else 1.0
+        return self.upper / self.lower
+
+
+def lower_bound(instance: Instance) -> float:
+    """A combinatorial lower bound on the optimal makespan.
+
+    Maximum of two quantities, both valid in every environment:
+
+    * *job bound* — every job must run somewhere, paying its processing time
+      plus its class's setup there: ``max_j min_i (p_ij + s_{i,k_j})``;
+    * *volume bound* — total work divided by total speed, where each class
+      contributes at least one setup on its cheapest machine.  For the
+      unrelated environment the "speed" of a machine is taken as 1 and
+      per-job / per-class minima are used, which keeps the bound valid.
+    """
+    inst = instance
+    if inst.num_jobs == 0:
+        return 0.0
+    # Job bound.
+    per_job_cost = inst.processing + inst.setups[:, inst.job_classes]
+    job_bound = float(np.max(np.min(per_job_cost, axis=0)))
+
+    # Volume bound.
+    if inst.is_uniform_like() and inst.job_sizes is not None and inst.speeds is not None:
+        classes = inst.classes_present()
+        setup_volume = float(inst.setup_sizes[classes].sum()) if inst.setup_sizes is not None else 0.0
+        volume = float(inst.job_sizes.sum()) + setup_volume
+        volume_bound = volume / float(inst.speeds.sum())
+        # On uniform machines no job (plus setup) can beat the fastest machine.
+        return max(job_bound, volume_bound)
+    # Unrelated / restricted: use the best processing time per job and the
+    # cheapest setup per class spread over all machines.
+    best_p = np.min(inst.processing, axis=0)
+    best_p = np.where(np.isfinite(best_p), best_p, 0.0)
+    classes = inst.classes_present()
+    best_s = np.min(inst.setups[:, classes], axis=0) if classes.size else np.zeros(0)
+    best_s = np.where(np.isfinite(best_s), best_s, 0.0)
+    volume_bound = (float(best_p.sum()) + float(best_s.sum())) / inst.num_machines
+    return max(job_bound, volume_bound)
+
+
+def greedy_upper_bound(instance: Instance) -> Tuple[float, Schedule]:
+    """A feasible schedule built by class-aware greedy list scheduling.
+
+    Jobs are grouped by class; classes are considered in decreasing total
+    size and each class's jobs are placed one by one on the machine that
+    currently finishes them earliest (accounting for a setup if the class is
+    new on that machine).  Always produces a feasible schedule, so its
+    makespan is a valid upper bound on ``|Opt|``.
+    """
+    inst = instance
+    schedule = Schedule(inst)
+    loads = np.zeros(inst.num_machines)
+    has_setup = np.zeros((inst.num_machines, inst.num_classes), dtype=bool)
+
+    class_order = sorted(
+        inst.classes_present().tolist(),
+        key=lambda k: -float(np.sum(np.nan_to_num(
+            np.min(inst.processing[:, inst.jobs_of_class(k)], axis=0), posinf=0.0))),
+    )
+    for k in class_order:
+        jobs = inst.jobs_of_class(k)
+        # Largest (best-machine) jobs first within the class.
+        best_time = np.min(inst.processing[:, jobs], axis=0)
+        order = jobs[np.argsort(-np.nan_to_num(best_time, posinf=np.inf))]
+        for j in order:
+            candidate = loads + inst.processing[:, j] + np.where(
+                has_setup[:, k], 0.0, inst.setups[:, k])
+            candidate = np.where(np.isfinite(inst.processing[:, j]), candidate, np.inf)
+            i = int(np.argmin(candidate))
+            if not np.isfinite(candidate[i]):
+                raise ValueError(f"job {j} has no eligible machine")
+            schedule.assign(j, i)
+            loads[i] = candidate[i]
+            has_setup[i, k] = True
+    return schedule.makespan(), schedule
+
+
+def lp_lower_bound(instance: Instance) -> float:
+    """Optimal value of the LP relaxation of ILP-UM with ``T`` as a variable.
+
+    The relaxation drops the ``p_ij > T ⇒ x_ij = 0`` filtering (constraint
+    (5) of ILP-UM), which only weakens it, so the value remains a valid
+    lower bound on the integral optimum.
+    """
+    inst = instance
+    model = Model(f"lp-lower-{inst.name}")
+    t_var = model.add_var("T", lower=0.0)
+    x = {}
+    y = {}
+    for i in range(inst.num_machines):
+        for j in range(inst.num_jobs):
+            if np.isfinite(inst.processing[i, j]):
+                x[i, j] = model.add_var(f"x[{i},{j}]", lower=0.0, upper=1.0)
+        for k in range(inst.num_classes):
+            if np.isfinite(inst.setups[i, k]):
+                y[i, k] = model.add_var(f"y[{i},{k}]", lower=0.0, upper=1.0)
+    # Load constraints.
+    for i in range(inst.num_machines):
+        terms = [(x[i, j], inst.processing[i, j])
+                 for j in range(inst.num_jobs) if (i, j) in x]
+        terms += [(y[i, k], inst.setups[i, k])
+                  for k in range(inst.num_classes) if (i, k) in y]
+        if not terms:
+            continue
+        expr = sum(coeff * var for var, coeff in terms) - t_var
+        model.add_constraint(expr, "<=", 0.0, name=f"load[{i}]")
+    # Assignment constraints.
+    for j in range(inst.num_jobs):
+        vars_j = [x[i, j] for i in range(inst.num_machines) if (i, j) in x]
+        expr = sum(v for v in vars_j)
+        model.add_constraint(expr, "==", 1.0, name=f"assign[{j}]")
+    # Setup coupling.
+    for (i, j), var in x.items():
+        k = inst.job_class(j)
+        if (i, k) in y:
+            model.add_constraint(var - y[i, k], "<=", 0.0, name=f"setup[{i},{j}]")
+        else:
+            model.add_constraint(var, "==", 0.0, name=f"forbid[{i},{j}]")
+    model.set_objective(t_var, sense=ObjectiveSense.MINIMIZE)
+    sol = model.solve()
+    if sol.status is not SolutionStatus.OPTIMAL:
+        raise RuntimeError(f"LP lower bound solve failed: {sol.message}")
+    return float(sol.objective)
+
+
+def makespan_bounds(instance: Instance, *, use_lp: bool = False) -> BoundReport:
+    """Compute a :class:`BoundReport` bracketing the optimal makespan."""
+    lb = lower_bound(instance)
+    ub, schedule = greedy_upper_bound(instance)
+    lp_lb = None
+    if use_lp:
+        lp_lb = lp_lower_bound(instance)
+        lb = max(lb, lp_lb)
+    # Guard against degenerate all-zero instances.
+    ub = max(ub, lb)
+    return BoundReport(lower=lb, upper=ub, lp_lower=lp_lb, upper_schedule=schedule)

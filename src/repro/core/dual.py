@@ -1,0 +1,163 @@
+"""The dual approximation framework of Hochbaum and Shmoys (Section 1.1.1).
+
+Instead of optimising the makespan directly, an algorithm is given a guess
+``T`` and must either return a schedule of makespan at most ``α·T`` or
+(approximately) certify that no schedule of makespan ``T`` exists.  Binary
+search over ``T`` on an interval containing ``|Opt|`` then yields an
+``α(1+δ)``-approximation for any desired search precision ``δ``.
+
+:func:`dual_approximation_search` implements this driver generically; the
+PTAS of Section 2, the randomized rounding of Section 3.1 and the constant
+factor algorithms of Section 3.3 all plug their decision procedures into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bounds import BoundReport, makespan_bounds
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+
+__all__ = ["DualSearchResult", "dual_approximation_search"]
+
+#: A decision procedure: given a makespan guess ``T``, return a schedule
+#: whose makespan the caller will accept, or ``None`` to signal "no schedule
+#: of makespan T exists (as far as the relaxation can tell)".
+DecisionProcedure = Callable[[float], Optional[Schedule]]
+
+
+@dataclass
+class DualSearchResult:
+    """Outcome of a dual-approximation binary search.
+
+    Attributes
+    ----------
+    schedule:
+        The best (lowest-makespan) schedule produced by any accepted guess.
+    accepted_guess:
+        The smallest makespan guess ``T`` for which the decision procedure
+        succeeded.
+    rejected_guess:
+        The largest guess that was rejected (a certified lower bound on the
+        guesses the decision procedure accepts; ``None`` if none was
+        rejected).
+    iterations:
+        Number of decision-procedure invocations.
+    history:
+        ``(guess, accepted, makespan_or_nan)`` per iteration, in order.
+    bounds:
+        The initial :class:`BoundReport` used to seed the search.
+    """
+
+    schedule: Schedule
+    accepted_guess: float
+    rejected_guess: Optional[float]
+    iterations: int
+    history: List[Tuple[float, bool, float]] = field(default_factory=list)
+    bounds: Optional[BoundReport] = None
+
+    @property
+    def makespan(self) -> float:
+        """Makespan of the returned schedule."""
+        return self.schedule.makespan()
+
+
+def dual_approximation_search(
+    instance: Instance,
+    decision: DecisionProcedure,
+    *,
+    precision: float = 0.01,
+    bounds: Optional[BoundReport] = None,
+    max_iterations: int = 64,
+) -> DualSearchResult:
+    """Binary search over makespan guesses around a decision procedure.
+
+    Parameters
+    ----------
+    instance:
+        The instance being solved (used only to compute initial bounds when
+        ``bounds`` is not supplied).
+    decision:
+        Procedure invoked with a guess ``T``; returns a schedule to accept
+        the guess or ``None`` to reject it.
+    precision:
+        Terminate once the remaining interval ``[lo, hi]`` satisfies
+        ``hi <= (1 + precision) * lo``.
+    bounds:
+        Optional pre-computed bounds bracket; computed greedily otherwise.
+    max_iterations:
+        Hard cap on decision invocations (the search is logarithmic, so this
+        is a safety net rather than a tuning knob).
+
+    Returns
+    -------
+    DualSearchResult
+
+    Raises
+    ------
+    RuntimeError
+        If the decision procedure rejects even the upper bound, which valid
+        decision procedures never do.
+    """
+    if precision <= 0:
+        raise ValueError("precision must be positive")
+    report = bounds if bounds is not None else makespan_bounds(instance)
+    lo = max(report.lower, 0.0)
+    hi = max(report.upper, lo)
+    history: List[Tuple[float, bool, float]] = []
+
+    # Make sure the upper end is acceptable; widen a few times if the greedy
+    # bound is (unexpectedly) too tight for an approximate decision procedure.
+    best_schedule: Optional[Schedule] = None
+    accepted_at = float("inf")
+    iterations = 0
+    attempt_hi = hi if hi > 0 else 1.0
+    for _ in range(8):
+        iterations += 1
+        candidate = decision(attempt_hi)
+        if candidate is not None:
+            history.append((attempt_hi, True, candidate.makespan()))
+            best_schedule = candidate
+            accepted_at = attempt_hi
+            break
+        history.append((attempt_hi, False, float("nan")))
+        attempt_hi *= 2.0
+    if best_schedule is None:
+        raise RuntimeError(
+            "decision procedure rejected the greedy upper bound even after widening; "
+            "it is not a valid relaxed decision procedure")
+    hi = accepted_at
+
+    rejected: Optional[float] = None
+    while hi > (1.0 + precision) * max(lo, 1e-300) and iterations < max_iterations:
+        if lo <= 0:
+            mid = hi / 2.0
+        else:
+            mid = float(np.sqrt(lo * hi))  # geometric midpoint for multiplicative precision
+        iterations += 1
+        candidate = decision(mid)
+        if candidate is not None:
+            history.append((mid, True, candidate.makespan()))
+            hi = mid
+            accepted_at = mid
+            if candidate.makespan() < best_schedule.makespan():
+                best_schedule = candidate
+        else:
+            history.append((mid, False, float("nan")))
+            rejected = mid if rejected is None else max(rejected, mid)
+            lo = mid
+        if lo == 0 and hi < 1e-12:
+            break
+
+    return DualSearchResult(
+        schedule=best_schedule,
+        accepted_guess=accepted_at,
+        rejected_guess=rejected,
+        iterations=iterations,
+        history=history,
+        bounds=report,
+    )

@@ -1,0 +1,47 @@
+"""Synthetic instance generators.
+
+The paper contains no experimental section, so the empirical evaluation in
+this repository is driven entirely by synthetic instances.  Each generator
+takes an explicit seed (or :class:`numpy.random.Generator`) and returns a
+fully validated :class:`repro.core.Instance`, so every experiment in
+``benchmarks/`` is reproducible from its recorded parameters.
+
+Families provided:
+
+* :mod:`repro.generators.uniform` — uniformly related machines with
+  configurable speed spread, job-size distribution and setup regime
+  (used by E1/E2/F1);
+* :mod:`repro.generators.unrelated` — unrelated machines, including
+  machine-correlated and job-correlated matrices and the class-uniform
+  processing-time special case (E3/E6/E7);
+* :mod:`repro.generators.restricted` — restricted assignment, including the
+  class-uniform-restrictions special case (E5);
+* :mod:`repro.generators.suites` — the named parameter sweeps that the
+  benchmark harness iterates over.
+"""
+
+from repro.generators.uniform import (
+    uniform_instance,
+    identical_instance,
+)
+from repro.generators.unrelated import (
+    unrelated_instance,
+    class_uniform_ptimes_instance,
+)
+from repro.generators.restricted import (
+    restricted_instance,
+    class_uniform_restrictions_instance,
+)
+from repro.generators.suites import SUITES, SuiteSpec, iter_suite
+
+__all__ = [
+    "uniform_instance",
+    "identical_instance",
+    "unrelated_instance",
+    "class_uniform_ptimes_instance",
+    "restricted_instance",
+    "class_uniform_restrictions_instance",
+    "SUITES",
+    "SuiteSpec",
+    "iter_suite",
+]

@@ -1,0 +1,111 @@
+"""Generators for restricted-assignment instances.
+
+Two flavours:
+
+* :func:`restricted_instance` — each *job* gets its own random eligible-
+  machine set (the general restricted assignment model, which Theorem 3.5
+  shows is Ω(log n + log m)-hard to approximate);
+* :func:`class_uniform_restrictions_instance` — each *class* gets one
+  eligible-machine set shared by all its jobs, the special case for which
+  Section 3.3.1 gives a 2-approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.generators.uniform import sample_job_classes
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["restricted_instance", "class_uniform_restrictions_instance"]
+
+
+def _sample_eligible_sets(rng: np.random.Generator, num_machines: int, count: int,
+                          min_size: int, max_size: int) -> np.ndarray:
+    """Sample ``count`` eligible-machine sets as a boolean ``(num_machines, count)`` array."""
+    if not (1 <= min_size <= max_size <= num_machines):
+        raise ValueError("need 1 <= min_size <= max_size <= num_machines")
+    eligible = np.zeros((num_machines, count), dtype=bool)
+    for c in range(count):
+        size = int(rng.integers(min_size, max_size + 1))
+        chosen = rng.choice(num_machines, size=size, replace=False)
+        eligible[chosen, c] = True
+    return eligible
+
+
+def restricted_instance(
+    num_jobs: int,
+    num_machines: int,
+    num_classes: int,
+    *,
+    seed: RandomState = None,
+    job_size_range: Sequence[float] = (1.0, 100.0),
+    setup_range: Sequence[float] = (1.0, 100.0),
+    min_eligible: int = 1,
+    max_eligible: Optional[int] = None,
+    class_skew: float = 1.0,
+    integral: bool = False,
+    name: Optional[str] = None,
+) -> Instance:
+    """Sample a restricted-assignment instance with per-job eligibility sets."""
+    rng = ensure_rng(seed)
+    max_eligible = num_machines if max_eligible is None else int(max_eligible)
+    low, high = float(job_size_range[0]), float(job_size_range[1])
+    s_low, s_high = float(setup_range[0]), float(setup_range[1])
+    job_sizes = rng.uniform(low, high, size=num_jobs)
+    setup_sizes = rng.uniform(s_low, s_high, size=num_classes)
+    job_classes = sample_job_classes(rng, num_jobs, num_classes, skew=class_skew)
+    eligible = _sample_eligible_sets(rng, num_machines, num_jobs, min_eligible, max_eligible)
+    if integral:
+        job_sizes = np.maximum(1, np.round(job_sizes)).astype(float)
+        setup_sizes = np.maximum(1, np.round(setup_sizes)).astype(float)
+    label = name or f"restricted-n{num_jobs}-m{num_machines}-K{num_classes}"
+    return Instance.restricted(
+        job_sizes, setup_sizes, job_classes, eligible, name=label,
+        meta={"generator": "restricted_instance",
+              "min_eligible": min_eligible, "max_eligible": max_eligible},
+    )
+
+
+def class_uniform_restrictions_instance(
+    num_jobs: int,
+    num_machines: int,
+    num_classes: int,
+    *,
+    seed: RandomState = None,
+    job_size_range: Sequence[float] = (1.0, 100.0),
+    setup_range: Sequence[float] = (1.0, 100.0),
+    min_eligible: int = 1,
+    max_eligible: Optional[int] = None,
+    class_skew: float = 1.0,
+    integral: bool = False,
+    name: Optional[str] = None,
+) -> Instance:
+    """Sample a restricted-assignment instance with class-uniform restrictions.
+
+    Every job of class ``k`` shares the class's eligible-machine set
+    ``M_k`` (the condition of Theorem 3.10).
+    """
+    rng = ensure_rng(seed)
+    max_eligible = num_machines if max_eligible is None else int(max_eligible)
+    low, high = float(job_size_range[0]), float(job_size_range[1])
+    s_low, s_high = float(setup_range[0]), float(setup_range[1])
+    job_sizes = rng.uniform(low, high, size=num_jobs)
+    setup_sizes = rng.uniform(s_low, s_high, size=num_classes)
+    job_classes = sample_job_classes(rng, num_jobs, num_classes, skew=class_skew)
+    class_eligible = _sample_eligible_sets(rng, num_machines, num_classes,
+                                           min_eligible, max_eligible)
+    eligible = class_eligible[:, job_classes]
+    if integral:
+        job_sizes = np.maximum(1, np.round(job_sizes)).astype(float)
+        setup_sizes = np.maximum(1, np.round(setup_sizes)).astype(float)
+    label = name or f"cu-restricted-n{num_jobs}-m{num_machines}-K{num_classes}"
+    inst = Instance.restricted(
+        job_sizes, setup_sizes, job_classes, eligible, name=label,
+        meta={"generator": "class_uniform_restrictions_instance",
+              "min_eligible": min_eligible, "max_eligible": max_eligible},
+    )
+    return inst

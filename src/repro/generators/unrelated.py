@@ -1,0 +1,144 @@
+"""Generators for unrelated-machines instances.
+
+Three correlation structures from the classical R||Cmax generator
+literature are supported, plus the class-uniform processing-times special
+case of Section 3.3.2:
+
+* ``"uncorrelated"`` — every ``p_ij`` drawn independently;
+* ``"machine_correlated"`` — ``p_ij = b_i · q_j`` with machine factors
+  ``b_i`` and job bases ``q_j`` perturbed by noise (machines are
+  consistently fast or slow, so the instance is "almost uniform");
+* ``"job_correlated"`` — ``p_ij = q_j · noise_ij`` (jobs have intrinsic
+  sizes but machine affinities vary wildly).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.generators.uniform import sample_job_classes
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["unrelated_instance", "class_uniform_ptimes_instance"]
+
+_CORRELATIONS = ("uncorrelated", "machine_correlated", "job_correlated")
+
+
+def _processing_matrix(rng: np.random.Generator, m: int, n: int, correlation: str,
+                       low: float, high: float) -> np.ndarray:
+    """Sample an ``(m, n)`` processing-time matrix with the given correlation."""
+    if correlation not in _CORRELATIONS:
+        raise ValueError(f"correlation must be one of {_CORRELATIONS}, got {correlation!r}")
+    if correlation == "uncorrelated":
+        return rng.uniform(low, high, size=(m, n))
+    if correlation == "machine_correlated":
+        machine_factor = rng.uniform(1.0, 4.0, size=(m, 1))
+        job_base = rng.uniform(low, high, size=(1, n))
+        noise = rng.uniform(0.8, 1.2, size=(m, n))
+        return machine_factor * job_base * noise
+    job_base = rng.uniform(low, high, size=(1, n))
+    noise = rng.uniform(0.5, 2.0, size=(m, n))
+    return job_base * noise
+
+
+def unrelated_instance(
+    num_jobs: int,
+    num_machines: int,
+    num_classes: int,
+    *,
+    seed: RandomState = None,
+    correlation: str = "uncorrelated",
+    processing_range: Sequence[float] = (1.0, 100.0),
+    setup_range: Sequence[float] = (1.0, 100.0),
+    class_skew: float = 1.0,
+    ineligible_fraction: float = 0.0,
+    integral: bool = False,
+    name: Optional[str] = None,
+) -> Instance:
+    """Sample an unrelated-machines instance.
+
+    Parameters
+    ----------
+    correlation:
+        One of ``"uncorrelated"``, ``"machine_correlated"``,
+        ``"job_correlated"``.
+    processing_range, setup_range:
+        ``(low, high)`` ranges of processing and setup times.
+    ineligible_fraction:
+        Fraction of ``(machine, job)`` pairs set to ``inf`` (restricted-
+        assignment flavour inside the unrelated environment); every job is
+        guaranteed at least one eligible machine.
+    """
+    rng = ensure_rng(seed)
+    p_low, p_high = float(processing_range[0]), float(processing_range[1])
+    s_low, s_high = float(setup_range[0]), float(setup_range[1])
+    if p_low <= 0 or p_high < p_low or s_low < 0 or s_high < s_low:
+        raise ValueError("invalid processing_range or setup_range")
+    if not (0.0 <= ineligible_fraction < 1.0):
+        raise ValueError("ineligible_fraction must lie in [0, 1)")
+
+    processing = _processing_matrix(rng, num_machines, num_jobs, correlation, p_low, p_high)
+    setups = rng.uniform(s_low, s_high, size=(num_machines, num_classes))
+    job_classes = sample_job_classes(rng, num_jobs, num_classes, skew=class_skew)
+
+    if ineligible_fraction > 0.0:
+        mask = rng.random((num_machines, num_jobs)) < ineligible_fraction
+        # Keep at least one eligible machine per job.
+        for j in range(num_jobs):
+            if mask[:, j].all():
+                mask[rng.integers(num_machines), j] = False
+        processing = np.where(mask, np.inf, processing)
+
+    if integral:
+        finite = np.isfinite(processing)
+        processing = np.where(finite, np.maximum(1, np.round(processing)), np.inf)
+        setups = np.maximum(1, np.round(setups)).astype(float)
+
+    label = name or f"unrelated-n{num_jobs}-m{num_machines}-K{num_classes}-{correlation}"
+    return Instance.unrelated(
+        processing, setups, job_classes, name=label,
+        meta={
+            "generator": "unrelated_instance",
+            "correlation": correlation,
+            "ineligible_fraction": ineligible_fraction,
+        },
+    )
+
+
+def class_uniform_ptimes_instance(
+    num_jobs: int,
+    num_machines: int,
+    num_classes: int,
+    *,
+    seed: RandomState = None,
+    processing_range: Sequence[float] = (1.0, 100.0),
+    setup_range: Sequence[float] = (1.0, 100.0),
+    class_skew: float = 1.0,
+    integral: bool = False,
+    name: Optional[str] = None,
+) -> Instance:
+    """Sample an unrelated instance with class-uniform processing times.
+
+    All jobs of class ``k`` share one processing time per machine
+    (``k_j = k_{j'} ⇒ p_ij = p_ij'``), the structural condition under which
+    Section 3.3.2 proves a 3-approximation.
+    """
+    rng = ensure_rng(seed)
+    p_low, p_high = float(processing_range[0]), float(processing_range[1])
+    s_low, s_high = float(setup_range[0]), float(setup_range[1])
+    class_times = rng.uniform(p_low, p_high, size=(num_machines, num_classes))
+    setups = rng.uniform(s_low, s_high, size=(num_machines, num_classes))
+    job_classes = sample_job_classes(rng, num_jobs, num_classes, skew=class_skew)
+    processing = class_times[:, job_classes]
+    if integral:
+        processing = np.maximum(1, np.round(processing)).astype(float)
+        setups = np.maximum(1, np.round(setups)).astype(float)
+    label = name or f"cu-ptimes-n{num_jobs}-m{num_machines}-K{num_classes}"
+    inst = Instance.unrelated(
+        processing, setups, job_classes, name=label,
+        meta={"generator": "class_uniform_ptimes_instance"},
+    )
+    return inst

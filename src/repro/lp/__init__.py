@@ -1,0 +1,31 @@
+"""A small linear-programming modelling layer over SciPy's HiGHS solvers.
+
+The paper's algorithms need three solver capabilities that a library such as
+PuLP or Gurobi would normally provide:
+
+1. solving large *linear relaxations* (ILP-UM of Section 3, LP-RelaxedRA of
+   Section 3.3) — handled by :func:`scipy.optimize.linprog`;
+2. obtaining *extreme-point (basic) solutions*, which the pseudo-forest
+   rounding of Section 3.3 relies on structurally — handled by the HiGHS
+   dual-simplex backend;
+3. solving small *integer programs* exactly, to measure approximation ratios
+   against true optima — handled by :func:`scipy.optimize.milp`.
+
+``repro.lp`` wraps these behind a tiny ``Variable`` / ``LinExpr`` /
+``Model`` API so algorithm code reads like the paper's LP formulations.
+"""
+
+from repro.lp.expression import LinExpr, Variable
+from repro.lp.model import Constraint, Model, ObjectiveSense, SolverError
+from repro.lp.solution import Solution, SolutionStatus
+
+__all__ = [
+    "Variable",
+    "LinExpr",
+    "Model",
+    "Constraint",
+    "ObjectiveSense",
+    "Solution",
+    "SolutionStatus",
+    "SolverError",
+]

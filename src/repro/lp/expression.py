@@ -1,0 +1,162 @@
+"""Linear expressions and decision variables for :mod:`repro.lp`.
+
+A :class:`Variable` is a lightweight handle (index + metadata) owned by a
+:class:`repro.lp.model.Model`.  A :class:`LinExpr` is a sparse mapping from
+variable index to coefficient plus a constant term; arithmetic on
+variables/expressions builds expressions without touching NumPy until the
+model is compiled to matrix form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple, Union
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable handle.
+
+    Attributes
+    ----------
+    index:
+        Column index of the variable in the owning model.
+    name:
+        Human-readable name (used in error messages and debugging dumps).
+    lower, upper:
+        Bounds; ``upper`` may be ``None`` for +infinity.
+    integral:
+        Whether the variable is required to be integral when the model is
+        solved as a MIP.  Ignored by the pure-LP solve path.
+    """
+
+    index: int
+    name: str
+    lower: float = 0.0
+    upper: float | None = None
+    integral: bool = False
+
+    # -- arithmetic ---------------------------------------------------
+    def to_expr(self) -> "LinExpr":
+        """Promote the variable to a single-term linear expression."""
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __add__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return self.to_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return self.to_expr() - other
+
+    def __rsub__(self, other: Union["Variable", "LinExpr", Number]) -> "LinExpr":
+        return (-1.0) * self.to_expr() + other
+
+    def __mul__(self, other: Number) -> "LinExpr":
+        return self.to_expr() * other
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self.to_expr() * -1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({self.name!r})"
+
+
+class LinExpr:
+    """A sparse linear expression ``sum_i coeff_i * x_i + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Dict[int, float] | None = None, constant: float = 0.0):
+        self.coeffs: Dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    # -- construction helpers -----------------------------------------
+    @staticmethod
+    def from_terms(terms: Iterable[Tuple[Variable, Number]], constant: float = 0.0) -> "LinExpr":
+        """Build an expression from ``(variable, coefficient)`` pairs."""
+        expr = LinExpr(constant=constant)
+        for var, coeff in terms:
+            expr._add_term(var.index, float(coeff))
+        return expr
+
+    def _add_term(self, index: int, coeff: float) -> None:
+        if coeff == 0.0:
+            return
+        new = self.coeffs.get(index, 0.0) + coeff
+        if new == 0.0:
+            self.coeffs.pop(index, None)
+        else:
+            self.coeffs[index] = new
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coeffs, self.constant)
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: Union["LinExpr", Variable, Number]) -> "LinExpr":
+        result = self.copy()
+        if isinstance(other, Variable):
+            result._add_term(other.index, 1.0)
+        elif isinstance(other, LinExpr):
+            for idx, coeff in other.coeffs.items():
+                result._add_term(idx, coeff)
+            result.constant += other.constant
+        elif isinstance(other, (int, float)):
+            result.constant += float(other)
+        else:
+            return NotImplemented
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["LinExpr", Variable, Number]) -> "LinExpr":
+        if isinstance(other, Variable):
+            other = other.to_expr()
+        if isinstance(other, LinExpr):
+            return self + (other * -1.0)
+        if isinstance(other, (int, float)):
+            return self + (-float(other))
+        return NotImplemented
+
+    def __rsub__(self, other: Union[Variable, Number]) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            return NotImplemented
+        return LinExpr(
+            {idx: coeff * float(scalar) for idx, coeff in self.coeffs.items()},
+            self.constant * float(scalar),
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- introspection ---------------------------------------------------
+    def value(self, assignment) -> float:
+        """Evaluate the expression under a dense ``assignment`` vector."""
+        total = self.constant
+        for idx, coeff in self.coeffs.items():
+            total += coeff * float(assignment[idx])
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        return f"LinExpr({terms} + {self.constant:g})"
+
+
+def as_expr(value: Union[LinExpr, Variable, Number]) -> LinExpr:
+    """Coerce a variable or number into a :class:`LinExpr`."""
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Variable):
+        return value.to_expr()
+    if isinstance(value, (int, float)):
+        return LinExpr(constant=float(value))
+    raise TypeError(f"cannot interpret {type(value).__name__} as a linear expression")

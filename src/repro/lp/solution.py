@@ -1,0 +1,73 @@
+"""Solution objects returned by :class:`repro.lp.model.Model.solve`."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.lp.expression import LinExpr, Variable
+
+
+class SolutionStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class Solution:
+    """A (possibly infeasible) result of solving a model.
+
+    Attributes
+    ----------
+    status:
+        :class:`SolutionStatus` of the solve.
+    objective:
+        Objective value (``nan`` unless optimal).
+    values:
+        Dense vector of variable values indexed by variable index.
+    is_mip:
+        Whether the integral variables were enforced.
+    message:
+        Raw solver message, useful when status is not ``OPTIMAL``.
+    """
+
+    status: SolutionStatus
+    objective: float
+    values: np.ndarray
+    is_mip: bool = False
+    message: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        """True iff the solver proved optimality."""
+        return self.status is SolutionStatus.OPTIMAL
+
+    def value(self, item) -> float:
+        """Value of a variable or linear expression under this solution."""
+        if isinstance(item, Variable):
+            return float(self.values[item.index])
+        if isinstance(item, LinExpr):
+            return item.value(self.values)
+        raise TypeError(f"cannot evaluate {type(item).__name__}")
+
+    def __getitem__(self, item) -> float:
+        return self.value(item)
+
+
+def infeasible_solution(num_vars: int, message: str = "", is_mip: bool = False) -> Solution:
+    """Convenience constructor for an infeasible outcome."""
+    return Solution(
+        status=SolutionStatus.INFEASIBLE,
+        objective=float("nan"),
+        values=np.full(num_vars, np.nan),
+        is_mip=is_mip,
+        message=message,
+    )

@@ -1,0 +1,34 @@
+"""SetCover substrate used by the hardness reduction of Section 3.2.
+
+Theorem 3.5 reduces ``SetCoverGap`` to scheduling with setup times on
+unrelated (in fact restricted-assignment) machines.  To reproduce the
+construction end to end we implement the substrate ourselves:
+
+* :class:`repro.setcover.instance.SetCoverInstance` — universe + subsets;
+* :mod:`repro.setcover.greedy` — the classical ``H_n``-approximation and
+  exact cover search for small instances, used to certify Yes-instances;
+* :mod:`repro.setcover.lp` — the LP relaxation (used for integrality-gap
+  measurements mirroring Corollary 3.4);
+* :mod:`repro.setcover.gap_instances` — generators of instances with a
+  known small cover and of gap-style instances whose LP/greedy gap grows
+  logarithmically;
+* :mod:`repro.setcover.reduction` — the randomized reduction producing the
+  scheduling instance of the proof of Theorem 3.5.
+"""
+
+from repro.setcover.instance import SetCoverInstance
+from repro.setcover.greedy import exact_min_cover, greedy_set_cover
+from repro.setcover.lp import lp_cover_value
+from repro.setcover.gap_instances import planted_cover_instance, integrality_gap_instance
+from repro.setcover.reduction import HardnessInstance, reduce_to_scheduling
+
+__all__ = [
+    "SetCoverInstance",
+    "greedy_set_cover",
+    "exact_min_cover",
+    "lp_cover_value",
+    "planted_cover_instance",
+    "integrality_gap_instance",
+    "HardnessInstance",
+    "reduce_to_scheduling",
+]

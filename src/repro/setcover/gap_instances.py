@@ -1,0 +1,99 @@
+"""Generators of SetCover instances with known structure.
+
+Two families are used by experiment E4:
+
+* :func:`planted_cover_instance` — a random instance into which a cover of
+  exactly ``t`` disjoint sets is planted, plus decoy sets.  Yes-instances
+  of ``SetCoverGap`` in the sense of Section 3.2: ``t`` sets suffice.
+* :func:`integrality_gap_instance` — the classical construction (cf.
+  Vazirani, Example 13.4 / pp. 111–112 referenced by the paper) on
+  ``N = 2^q - 1`` elements indexed by non-zero binary vectors, with one set
+  per non-zero vector collecting the elements with odd inner product.  The
+  fractional optimum is ``≈ 2`` while every integral cover needs ``≥ q``
+  sets, giving an ``Ω(log N)`` integrality gap — the source of the
+  ``Ω(log n + log m)`` gap of ILP-UM (Corollary 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.setcover.instance import SetCoverInstance
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["planted_cover_instance", "integrality_gap_instance"]
+
+
+def planted_cover_instance(
+    universe_size: int,
+    num_subsets: int,
+    planted_cover_size: int,
+    *,
+    seed: RandomState = None,
+    decoy_density: float = 0.25,
+    name: str | None = None,
+) -> Tuple[SetCoverInstance, List[int]]:
+    """A SetCover instance with a planted cover of ``planted_cover_size`` sets.
+
+    The universe is split into ``planted_cover_size`` contiguous blocks, one
+    per planted set; the remaining ``num_subsets - planted_cover_size``
+    decoy sets sample elements independently with probability
+    ``decoy_density`` (so decoys rarely combine into small covers).
+
+    Returns the instance and the indices of the planted cover (after a
+    random shuffle of subset order, so the cover is not positionally
+    obvious to the algorithms under test).
+    """
+    rng = ensure_rng(seed)
+    if not (1 <= planted_cover_size <= num_subsets):
+        raise ValueError("need 1 <= planted_cover_size <= num_subsets")
+    if universe_size < planted_cover_size:
+        raise ValueError("universe_size must be at least planted_cover_size")
+
+    blocks = np.array_split(rng.permutation(universe_size), planted_cover_size)
+    subsets: List[set] = [set(int(e) for e in block) for block in blocks]
+    for _ in range(num_subsets - planted_cover_size):
+        membership = rng.random(universe_size) < decoy_density
+        subsets.append(set(int(e) for e in np.flatnonzero(membership)))
+
+    order = rng.permutation(len(subsets))
+    shuffled = [subsets[int(i)] for i in order]
+    planted_positions = [int(np.flatnonzero(order == original)[0])
+                         for original in range(planted_cover_size)]
+    inst = SetCoverInstance.from_lists(
+        universe_size, shuffled,
+        name=name or f"planted-N{universe_size}-m{num_subsets}-t{planted_cover_size}",
+        meta={"planted_cover_size": planted_cover_size, "decoy_density": decoy_density},
+    )
+    return inst, planted_positions
+
+
+def integrality_gap_instance(q: int, *, name: str | None = None) -> SetCoverInstance:
+    """The classical ``Ω(log N)`` integrality-gap construction on ``N = 2^q - 1`` elements.
+
+    Elements and sets are both indexed by the non-zero vectors of
+    ``GF(2)^q``.  Set ``S_a`` contains element ``x`` iff the inner product
+    ``⟨a, x⟩`` over GF(2) is 1.  Each set contains ``2^{q-1}`` of the
+    ``2^q - 1`` elements, so assigning every set the fraction
+    ``1 / 2^{q-1}`` is a fractional cover of value ``< 2``; but any
+    sub-collection of fewer than ``q`` sets misses some element, so the
+    integral optimum is at least ``q``.
+    """
+    if q < 2:
+        raise ValueError("q must be at least 2")
+    vectors = np.arange(1, 2**q, dtype=np.int64)
+    # inner_products[a_idx, x_idx] = popcount(a & x) mod 2
+    a = vectors[:, np.newaxis]
+    x = vectors[np.newaxis, :]
+    conj = a & x
+    # Vectorised popcount for int64 values below 2^q (q small).
+    bits = ((conj[..., np.newaxis] >> np.arange(q)) & 1).sum(axis=-1)
+    inner = bits % 2
+    subsets = [np.flatnonzero(inner[a_idx]).tolist() for a_idx in range(len(vectors))]
+    return SetCoverInstance.from_lists(
+        2**q - 1, subsets,
+        name=name or f"gap-q{q}",
+        meta={"construction": "gf2-inner-product", "q": q},
+    )

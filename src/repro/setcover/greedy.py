@@ -1,0 +1,90 @@
+"""Greedy and exact algorithms for SetCover.
+
+The greedy algorithm (pick the set covering the most uncovered elements) is
+the classical ``H_N ≤ ln N + 1`` approximation; the exact search is a
+branch-and-bound used only on small instances to certify the parameter
+``t`` of a Yes-instance in the hardness experiments (E4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.setcover.instance import SetCoverInstance
+
+__all__ = ["greedy_set_cover", "exact_min_cover"]
+
+
+def greedy_set_cover(instance: SetCoverInstance) -> List[int]:
+    """Return subset indices chosen by the greedy maximum-coverage rule.
+
+    Ties are broken by subset index for determinism.  Raises ``ValueError``
+    if the instance is not coverable (which :meth:`SetCoverInstance.validate`
+    already prevents).
+    """
+    uncovered: Set[int] = set(range(instance.universe_size))
+    chosen: List[int] = []
+    subsets = [set(s) for s in instance.subsets]
+    while uncovered:
+        best_idx = -1
+        best_gain = 0
+        for idx, subset in enumerate(subsets):
+            gain = len(subset & uncovered)
+            if gain > best_gain:
+                best_gain = gain
+                best_idx = idx
+        if best_idx < 0:
+            raise ValueError("instance is not coverable")
+        chosen.append(best_idx)
+        uncovered -= subsets[best_idx]
+    return chosen
+
+
+def exact_min_cover(instance: SetCoverInstance, *, max_subsets: int = 24) -> List[int]:
+    """Exact minimum set cover by branch and bound (small instances only).
+
+    Branches on the lowest-index uncovered element, trying each subset that
+    contains it (a standard element-branching scheme whose depth is bounded
+    by the optimal cover size).  ``max_subsets`` guards against accidentally
+    invoking the exponential search on large inputs.
+    """
+    if instance.num_subsets > max_subsets:
+        raise ValueError(
+            f"exact_min_cover limited to {max_subsets} subsets, got {instance.num_subsets}")
+    subsets = [set(s) for s in instance.subsets]
+    best: Optional[List[int]] = None
+    greedy = greedy_set_cover(instance)
+    best = list(greedy)
+
+    element_to_subsets: List[List[int]] = [[] for _ in range(instance.universe_size)]
+    for idx, subset in enumerate(subsets):
+        for e in subset:
+            element_to_subsets[e].append(idx)
+
+    def search(uncovered: Set[int], chosen: List[int]) -> None:
+        nonlocal best
+        if best is not None and len(chosen) >= len(best):
+            return
+        if not uncovered:
+            best = list(chosen)
+            return
+        # Simple lower bound: remaining elements / largest subset size.
+        largest = max(len(s & uncovered) for s in subsets)
+        if largest == 0:
+            return
+        if best is not None and len(chosen) + int(np.ceil(len(uncovered) / largest)) >= len(best) + 1:
+            return
+        pivot = min(uncovered)
+        for idx in element_to_subsets[pivot]:
+            gained = subsets[idx] & uncovered
+            if not gained:
+                continue
+            chosen.append(idx)
+            search(uncovered - gained, chosen)
+            chosen.pop()
+
+    search(set(range(instance.universe_size)), [])
+    assert best is not None
+    return best

@@ -1,0 +1,96 @@
+"""The SetCover data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["SetCoverInstance"]
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A SetCover instance: a universe ``U = {0, …, N-1}`` and subsets of it.
+
+    Attributes
+    ----------
+    universe_size:
+        ``N = |U|``.
+    subsets:
+        Tuple of frozensets of element indices.
+    name:
+        Optional label for reports.
+    """
+
+    universe_size: int
+    subsets: Tuple[FrozenSet[int], ...]
+    name: str = "setcover"
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_lists(universe_size: int, subsets: Iterable[Iterable[int]],
+                   *, name: str = "setcover",
+                   meta: Dict[str, object] | None = None) -> "SetCoverInstance":
+        """Build an instance from any iterable of element collections."""
+        frozen = tuple(frozenset(int(e) for e in s) for s in subsets)
+        inst = SetCoverInstance(universe_size=int(universe_size), subsets=frozen,
+                                name=name, meta=dict(meta or {}))
+        inst.validate()
+        return inst
+
+    @property
+    def num_subsets(self) -> int:
+        """Number of subsets ``m``."""
+        return len(self.subsets)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when elements are out of range or the union misses elements."""
+        if self.universe_size < 0:
+            raise ValueError("universe_size must be non-negative")
+        covered: Set[int] = set()
+        for idx, subset in enumerate(self.subsets):
+            for e in subset:
+                if not (0 <= e < self.universe_size):
+                    raise ValueError(f"subset {idx} contains out-of-range element {e}")
+            covered |= set(subset)
+        if self.universe_size and covered != set(range(self.universe_size)):
+            missing = sorted(set(range(self.universe_size)) - covered)[:5]
+            raise ValueError(f"universe not coverable; e.g. elements {missing} appear in no subset")
+
+    # ------------------------------------------------------------------
+    def membership_matrix(self) -> np.ndarray:
+        """Boolean ``(num_subsets, universe_size)`` membership matrix."""
+        mat = np.zeros((self.num_subsets, self.universe_size), dtype=bool)
+        for idx, subset in enumerate(self.subsets):
+            if subset:
+                mat[idx, list(subset)] = True
+        return mat
+
+    def is_cover(self, selection: Iterable[int]) -> bool:
+        """Whether the selected subset indices cover the whole universe."""
+        covered: Set[int] = set()
+        for idx in selection:
+            covered |= set(self.subsets[int(idx)])
+        return len(covered) == self.universe_size
+
+    def cover_certificate(self, selection: Sequence[int]) -> List[int]:
+        """Elements *not* covered by ``selection`` (empty list = valid cover)."""
+        covered: Set[int] = set()
+        for idx in selection:
+            covered |= set(self.subsets[int(idx)])
+        return sorted(set(range(self.universe_size)) - covered)
+
+    def element_frequencies(self) -> np.ndarray:
+        """Number of subsets containing each element."""
+        freq = np.zeros(self.universe_size, dtype=int)
+        for subset in self.subsets:
+            for e in subset:
+                freq[e] += 1
+        return freq
+
+    def __repr__(self) -> str:
+        return (f"SetCoverInstance({self.name!r}, N={self.universe_size}, "
+                f"m={self.num_subsets})")

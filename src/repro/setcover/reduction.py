@@ -1,0 +1,174 @@
+"""The randomized reduction from SetCoverGap to scheduling (Theorem 3.5).
+
+Given a SetCover instance with ``N`` elements and ``m`` subsets and a
+target cover size ``t``, the construction of Section 3.2 builds a
+restricted-assignment scheduling instance with
+
+* ``m`` machines (one per subset),
+* ``K = ceil((m/t) · log2 m)`` classes, each with an independent uniformly
+  random machine permutation ``π_k``,
+* one job ``j_e^k`` per (class ``k``, element ``e``) with processing time 0
+  on machine ``i`` iff ``e ∈ S_{π_k(i)}`` and ``∞`` otherwise,
+* all setup times equal to 1.
+
+If the SetCover instance has a cover of size ``t`` (*Yes*-instance) the
+intended schedule — set machine ``i`` up for class ``k`` iff ``S_{π_k(i)}``
+belongs to the cover — has makespan ``O((K/m)·t + log m)`` with probability
+at least 1/2.  If every cover needs ``α·t`` sets (*No*-instance) every
+schedule has makespan at least ``(K/m)·α·t``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.setcover.instance import SetCoverInstance
+from repro.utils.rng import RandomState, ensure_rng
+
+__all__ = ["HardnessInstance", "reduce_to_scheduling"]
+
+
+@dataclass
+class HardnessInstance:
+    """The output of the Section 3.2 reduction.
+
+    Attributes
+    ----------
+    scheduling:
+        The constructed scheduling instance (restricted assignment with all
+        setup times equal to 1 and zero processing times).
+    setcover:
+        The source SetCover instance.
+    cover_size:
+        The parameter ``t`` (the Yes-instance cover size being tested).
+    num_classes:
+        ``K = ceil((m/t)·log2 m)``.
+    permutations:
+        ``(K, m)`` integer array; ``permutations[k, i] = π_k(i)`` is the
+        subset index assigned to machine ``i`` for class ``k``.
+    """
+
+    scheduling: Instance
+    setcover: SetCoverInstance
+    cover_size: int
+    num_classes: int
+    permutations: np.ndarray
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def job_index(self, klass: int, element: int) -> int:
+        """Index of job ``j_e^k`` in the scheduling instance."""
+        return klass * self.setcover.universe_size + element
+
+    def no_instance_lower_bound(self, alpha: float) -> float:
+        """``(K/m)·α·t``: the makespan lower bound when every cover needs ``α·t`` sets."""
+        m = self.scheduling.num_machines
+        return self.num_classes / m * alpha * self.cover_size
+
+    def yes_instance_target(self) -> float:
+        """``2·K·e·t/m + 2·log2 m``: the whp makespan bound for Yes-instances (proof of Thm 3.5)."""
+        m = self.scheduling.num_machines
+        return 2.0 * self.num_classes * math.e * self.cover_size / m + 2.0 * math.log2(m)
+
+    def schedule_from_cover(self, cover: Sequence[int]) -> Schedule:
+        """Build the intended schedule from a set cover (the Yes-instance argument).
+
+        For every class ``k``, machine ``i`` is set up iff ``π_k(i)`` is in
+        the cover; each job ``j_e^k`` goes to an arbitrary set-up machine
+        whose subset contains ``e`` (the first such machine, for
+        determinism).  Raises ``ValueError`` if ``cover`` is not a cover.
+        """
+        missing = self.setcover.cover_certificate(list(cover))
+        if missing:
+            raise ValueError(f"selection does not cover elements {missing[:5]}")
+        cover_set = set(int(c) for c in cover)
+        inst = self.scheduling
+        schedule = Schedule(inst)
+        n_elements = self.setcover.universe_size
+        subsets = [set(s) for s in self.setcover.subsets]
+        for k in range(self.num_classes):
+            setup_machines = [i for i in range(inst.num_machines)
+                              if int(self.permutations[k, i]) in cover_set]
+            for e in range(n_elements):
+                target = None
+                for i in setup_machines:
+                    if e in subsets[int(self.permutations[k, i])]:
+                        target = i
+                        break
+                if target is None:
+                    # Should not happen for a valid cover; fall back to any
+                    # eligible machine to keep the schedule feasible.
+                    eligible = inst.eligible_machines(self.job_index(k, e))
+                    target = int(eligible[0])
+                schedule.assign(self.job_index(k, e), target)
+        return schedule
+
+
+def reduce_to_scheduling(
+    setcover: SetCoverInstance,
+    cover_size: int,
+    *,
+    seed: RandomState = None,
+    num_classes: Optional[int] = None,
+    name: str | None = None,
+) -> HardnessInstance:
+    """Run the Section 3.2 reduction.
+
+    Parameters
+    ----------
+    setcover:
+        Source SetCover instance (``m`` subsets, ``N`` elements).
+    cover_size:
+        The gap parameter ``t``.
+    num_classes:
+        Override for ``K``; defaults to ``ceil((m/t)·log2 m)`` as in the
+        paper (at least 1).
+    seed:
+        Randomness for the per-class machine permutations.
+    """
+    rng = ensure_rng(seed)
+    m = setcover.num_subsets
+    n_elements = setcover.universe_size
+    if cover_size <= 0:
+        raise ValueError("cover_size must be positive")
+    if m < 2:
+        raise ValueError("the reduction needs at least two subsets/machines")
+    if num_classes is None:
+        num_classes = max(1, int(math.ceil(m / cover_size * math.log2(m))))
+    permutations = np.stack([rng.permutation(m) for _ in range(num_classes)])
+
+    membership = setcover.membership_matrix()  # (m_subsets, N)
+    # processing[i, j] for job j = (k, e): 0 if e in S_{π_k(i)} else inf.
+    processing = np.full((m, num_classes * n_elements), np.inf)
+    job_classes = np.empty(num_classes * n_elements, dtype=int)
+    for k in range(num_classes):
+        cols = slice(k * n_elements, (k + 1) * n_elements)
+        # Row i of this block is membership of subset π_k(i).
+        processing[:, cols] = np.where(membership[permutations[k]], 0.0, np.inf)
+        job_classes[cols] = k
+    setups = np.ones((m, num_classes))
+
+    scheduling = Instance.unrelated(
+        processing, setups, job_classes,
+        name=name or f"hardness-{setcover.name}-t{cover_size}",
+        meta={
+            "construction": "setcover-reduction",
+            "source": setcover.name,
+            "cover_size": cover_size,
+            "num_classes": num_classes,
+        },
+    )
+    return HardnessInstance(
+        scheduling=scheduling,
+        setcover=setcover,
+        cover_size=int(cover_size),
+        num_classes=int(num_classes),
+        permutations=permutations,
+        meta={"seed": None},
+    )

@@ -1,0 +1,154 @@
+"""Tests for LPT (Lemma 2.1), list-scheduling baselines and their guarantees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    best_machine_schedule,
+    class_aware_list_schedule,
+    class_oblivious_list_schedule,
+    lpt_uniform_with_setups,
+    lpt_without_setups,
+    milp_optimal,
+)
+from repro.algorithms.lpt import LPT_GUARANTEE, PLAIN_LPT_GUARANTEE, lpt_assign_sizes
+from repro.core.instance import Instance
+from repro.generators import uniform_instance, unrelated_instance
+
+
+class TestLptAssignSizes:
+    def test_classic_identical_machines(self):
+        # Sizes 5,4,3,2,2 on two identical machines: LPT places 5 | 4,3 and
+        # then one 2 on each machine, giving makespan 9 (optimum is 8).
+        assignment = lpt_assign_sizes([5, 4, 3, 2, 2], [1.0, 1.0])
+        loads = np.zeros(2)
+        for j, i in enumerate(assignment):
+            loads[i] += [5, 4, 3, 2, 2][j]
+        assert loads.max() == pytest.approx(9.0)
+        assert loads.min() == pytest.approx(7.0)
+
+    def test_respects_speeds(self):
+        # One fast machine should take the big job.
+        assignment = lpt_assign_sizes([10.0, 1.0], [1.0, 10.0])
+        assert assignment[0] == 1
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            lpt_assign_sizes([1.0], [0.0])
+
+    def test_plain_lpt_guarantee_on_random_instances(self):
+        """Plain LPT (no setups involved) respects the Kovács bound empirically."""
+        for seed in range(5):
+            inst = uniform_instance(12, 3, 3, seed=seed, integral=True)
+            no_setup = inst.without_setups()
+            opt = milp_optimal(no_setup, time_limit=20)
+            result = lpt_without_setups(no_setup)
+            assert result.makespan <= PLAIN_LPT_GUARANTEE * opt.makespan + 1e-6
+
+
+class TestLptWithSetups:
+    def test_produces_complete_feasible_schedule(self, small_uniform):
+        result = lpt_uniform_with_setups(small_uniform)
+        assert result.schedule.validate() == []
+        assert result.guarantee == pytest.approx(LPT_GUARANTEE)
+
+    def test_guarantee_value(self):
+        assert LPT_GUARANTEE == pytest.approx(3 * (1 + 1 / np.sqrt(3)))
+        assert 4.7 < LPT_GUARANTEE < 4.8
+
+    def test_respects_guarantee_against_optimum(self):
+        for seed in range(6):
+            inst = uniform_instance(14, 3, 4, seed=seed, integral=True)
+            opt = milp_optimal(inst, time_limit=30)
+            result = lpt_uniform_with_setups(inst)
+            assert result.makespan <= LPT_GUARANTEE * opt.makespan * (1 + 1e-9)
+
+    def test_respects_guarantee_dominant_setups(self):
+        for seed in range(3):
+            inst = uniform_instance(14, 3, 4, seed=seed, integral=True,
+                                    setup_regime="dominant")
+            opt = milp_optimal(inst, time_limit=30)
+            result = lpt_uniform_with_setups(inst)
+            assert result.makespan <= LPT_GUARANTEE * opt.makespan * (1 + 1e-9)
+
+    def test_placeholders_created_for_small_jobs(self):
+        # One class whose jobs are all much smaller than its setup.
+        inst = Instance.uniform(
+            job_sizes=[1.0, 1.0, 1.0, 1.0, 20.0],
+            setup_sizes=[10.0, 5.0],
+            job_classes=[0, 0, 0, 0, 1],
+            speeds=[1.0, 1.0],
+        )
+        result = lpt_uniform_with_setups(inst)
+        assert result.meta["num_placeholders"] >= 1
+        assert result.schedule.validate() == []
+
+    def test_zero_setup_class_handled(self):
+        inst = Instance.uniform(
+            job_sizes=[3.0, 4.0, 5.0],
+            setup_sizes=[0.0],
+            job_classes=[0, 0, 0],
+            speeds=[1.0, 2.0],
+        )
+        result = lpt_uniform_with_setups(inst)
+        assert result.schedule.validate() == []
+
+    def test_rejects_unrelated_instance(self, small_unrelated):
+        with pytest.raises(ValueError):
+            lpt_uniform_with_setups(small_unrelated)
+
+    def test_single_machine(self):
+        inst = uniform_instance(10, 1, 3, seed=5, integral=True)
+        result = lpt_uniform_with_setups(inst)
+        # On one machine every schedule has the same makespan: total work + setups.
+        expected = inst.job_sizes.sum() + inst.setup_sizes[inst.classes_present()].sum()
+        assert result.makespan == pytest.approx(expected / inst.speeds[0])
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_feasible_and_bounded_by_greedy_bound(self, seed):
+        inst = uniform_instance(15, 3, 4, seed=seed, integral=True)
+        result = lpt_uniform_with_setups(inst)
+        assert result.schedule.validate() == []
+        # Sanity: within the guarantee of the trivial lower bound.
+        from repro.core.bounds import lower_bound
+        assert result.makespan <= LPT_GUARANTEE * max(lower_bound(inst), 1e-9) * (1 + 1e-6) \
+            or result.makespan <= LPT_GUARANTEE * lower_bound(inst) + 1e-6 \
+            or lower_bound(inst) == 0
+
+
+class TestListSchedulingBaselines:
+    def test_all_baselines_feasible(self, small_uniform, small_unrelated, small_restricted):
+        for inst in (small_uniform, small_unrelated, small_restricted):
+            for algo in (class_aware_list_schedule, class_oblivious_list_schedule,
+                         best_machine_schedule):
+                result = algo(inst)
+                assert result.schedule.validate() == [], algo.__name__
+
+    def test_class_aware_beats_oblivious_with_dominant_setups(self):
+        wins = 0
+        trials = 5
+        for seed in range(trials):
+            inst = uniform_instance(40, 4, 8, seed=seed, integral=True,
+                                    setup_regime="dominant")
+            aware = class_aware_list_schedule(inst)
+            oblivious = class_oblivious_list_schedule(inst)
+            if aware.makespan <= oblivious.makespan + 1e-9:
+                wins += 1
+        assert wins >= trials - 1  # the motivation of the model: batching wins
+
+    def test_best_machine_unbalanced_on_uniform(self):
+        inst = uniform_instance(30, 4, 5, seed=1, integral=True, speed_spread=8.0)
+        best = best_machine_schedule(inst)
+        aware = class_aware_list_schedule(inst)
+        # Sending everything to the fastest machine is much worse than greedy.
+        assert best.makespan >= aware.makespan
+
+    def test_result_metadata(self, small_uniform):
+        result = class_aware_list_schedule(small_uniform)
+        assert result.makespan == pytest.approx(result.schedule.makespan())
+        assert result.runtime_seconds >= 0.0
+        assert result.ratio_to(result.makespan) == pytest.approx(1.0)
+        assert result.ratio_to(0.0) == float("inf")

@@ -1,0 +1,213 @@
+"""Tests for the Section 3.3 constant-factor algorithms (Theorems 3.10, 3.11)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import milp_optimal
+from repro.algorithms.restricted import (
+    class_uniform_ptimes_approximation,
+    class_uniform_ptimes_decision,
+    class_uniform_restrictions_approximation,
+    class_uniform_restrictions_decision,
+    round_support_graph,
+    solve_lp_relaxed_ra,
+    support_graph,
+    verify_pseudoforest,
+)
+from repro.algorithms.restricted.lp_relaxed_ra import class_workload_matrix
+from repro.generators import (
+    class_uniform_ptimes_instance,
+    class_uniform_restrictions_instance,
+    uniform_instance,
+)
+
+
+class TestLPRelaxedRA:
+    def test_feasible_at_optimum(self, small_cu_restrictions):
+        opt = milp_optimal(small_cu_restrictions, time_limit=30)
+        relax = solve_lp_relaxed_ra(small_cu_restrictions, opt.makespan, variant="restrictions")
+        assert relax.feasible
+
+    def test_infeasible_for_tiny_guess(self, small_cu_restrictions):
+        relax = solve_lp_relaxed_ra(small_cu_restrictions, 1e-3, variant="restrictions")
+        assert not relax.feasible
+
+    def test_distribution_constraint(self, small_cu_restrictions):
+        opt = milp_optimal(small_cu_restrictions, time_limit=30)
+        relax = solve_lp_relaxed_ra(small_cu_restrictions, opt.makespan * 1.2)
+        for k in small_cu_restrictions.classes_present():
+            assert relax.x[:, k].sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_constraint14_blocks_large_setups(self):
+        inst = class_uniform_restrictions_instance(12, 4, 4, seed=1,
+                                                   setup_range=(50.0, 80.0))
+        relax = solve_lp_relaxed_ra(inst, 40.0, variant="restrictions")
+        # Every setup exceeds the guess, so no variable may exist.
+        assert not relax.feasible
+
+    def test_workload_matrix(self, small_cu_restrictions):
+        workload = class_workload_matrix(small_cu_restrictions)
+        inst = small_cu_restrictions
+        for k in inst.classes_present():
+            members = inst.jobs_of_class(int(k))
+            eligible = inst.eligible_machines(int(members[0]))
+            for i in eligible:
+                assert workload[i, k] == pytest.approx(inst.processing[i, members].sum())
+
+    def test_invalid_variant(self, small_cu_restrictions):
+        with pytest.raises(ValueError):
+            solve_lp_relaxed_ra(small_cu_restrictions, 10.0, variant="bogus")
+
+
+class TestPseudoforestRounding:
+    def test_support_graph_only_fractional_edges(self):
+        x = np.array([[1.0, 0.4], [0.0, 0.6]])
+        graph = support_graph(x)
+        assert graph.number_of_edges() == 2  # only the 0.4/0.6 column
+
+    def test_verify_pseudoforest(self):
+        x = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert verify_pseudoforest(support_graph(x))
+
+    def test_round_integral_assignment(self):
+        x = np.array([[1.0, 0.0], [0.0, 1.0]])
+        rounding = round_support_graph(x)
+        assert rounding.integral_assignment == {0: 0, 1: 1}
+        assert rounding.kept_machines == {}
+
+    def test_round_single_fractional_class(self):
+        x = np.array([[0.7], [0.3]])
+        rounding = round_support_graph(x)
+        kept = rounding.kept_machines[0]
+        dropped = rounding.dropped_machine[0]
+        # Lemma 3.8: at most one supporting machine loses its edge.
+        assert len(kept) + (1 if dropped is not None else 0) == 2
+        assert dropped is None or dropped not in kept
+
+    def test_lemma_3_8_properties_on_cycle(self):
+        # A 2-class / 2-machine cycle: each node has degree 2.
+        x = np.array([[0.5, 0.5], [0.5, 0.5]])
+        rounding = round_support_graph(x)
+        machine_degree = {0: 0, 1: 0}
+        for k in (0, 1):
+            for i in rounding.kept_machines[k]:
+                machine_degree[i] += 1
+        # Property 1: every machine keeps at most one edge.
+        assert all(d <= 1 for d in machine_degree.values())
+        # Property 2: every class loses at most one machine.
+        for k in (0, 1):
+            assert (rounding.dropped_machine[k] is None) or True
+            lost = 2 - len(rounding.kept_machines[k])
+            assert lost <= 1
+
+    def test_lemma_3_8_on_lp_solutions(self):
+        """Properties of Lemma 3.8 hold for actual extreme LP solutions."""
+        for seed in range(4):
+            inst = class_uniform_restrictions_instance(16, 5, 6, seed=seed,
+                                                       min_eligible=2, max_eligible=4)
+            opt = milp_optimal(inst, time_limit=30)
+            relax = solve_lp_relaxed_ra(inst, opt.makespan, variant="restrictions")
+            if not relax.feasible:
+                continue
+            assert verify_pseudoforest(support_graph(relax.x))
+            rounding = round_support_graph(relax.x)
+            machine_kept = {}
+            for k, machines in rounding.kept_machines.items():
+                for i in machines:
+                    machine_kept.setdefault(i, []).append(k)
+            assert all(len(ks) <= 1 for ks in machine_kept.values())
+
+    def test_non_pseudoforest_rejected(self):
+        # A dense fractional matrix whose support is K_{3,3} (not a pseudo-forest).
+        x = np.full((3, 3), 1.0 / 3.0)
+        with pytest.raises(ValueError):
+            round_support_graph(x)
+
+
+class TestClassUniformRestrictions:
+    def test_decision_accepts_optimum_within_factor_2(self):
+        for seed in range(4):
+            inst = class_uniform_restrictions_instance(18, 4, 5, seed=seed,
+                                                       min_eligible=2, max_eligible=3)
+            opt = milp_optimal(inst, time_limit=30)
+            schedule = class_uniform_restrictions_decision(inst, opt.makespan)
+            assert schedule is not None
+            assert schedule.validate() == []
+            assert schedule.makespan() <= 2.0 * opt.makespan * (1 + 1e-6)
+
+    def test_decision_rejects_tiny_guess(self, small_cu_restrictions):
+        assert class_uniform_restrictions_decision(small_cu_restrictions, 1e-3) is None
+
+    def test_approximation_respects_guarantee(self):
+        """Theorem 3.10: never worse than 2·OPT (plus search slack)."""
+        for seed in range(5):
+            inst = class_uniform_restrictions_instance(20, 5, 6, seed=seed,
+                                                       min_eligible=2, max_eligible=4)
+            opt = milp_optimal(inst, time_limit=30)
+            result = class_uniform_restrictions_approximation(inst)
+            assert result.schedule.validate() == []
+            assert result.makespan <= 2.0 * 1.03 * opt.makespan * (1 + 1e-6)
+
+    def test_rejects_non_class_uniform_instance(self):
+        from repro.generators import restricted_instance
+        inst = restricted_instance(30, 5, 3, seed=1, min_eligible=2, max_eligible=4)
+        if not inst.has_class_uniform_restrictions():
+            with pytest.raises(ValueError):
+                class_uniform_restrictions_approximation(inst)
+
+    def test_works_on_unrestricted_uniform_instance(self):
+        # Uniform instances trivially have class-uniform restrictions.
+        inst = uniform_instance(15, 3, 4, seed=2, integral=True)
+        result = class_uniform_restrictions_approximation(inst)
+        assert result.schedule.validate() == []
+
+    def test_respects_eligibility(self):
+        inst = class_uniform_restrictions_instance(20, 5, 5, seed=3,
+                                                   min_eligible=1, max_eligible=2)
+        result = class_uniform_restrictions_approximation(inst)
+        for j in range(inst.num_jobs):
+            machine = result.schedule.machine_of(j)
+            assert inst.is_eligible(machine, j)
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=8, deadline=None)
+    def test_property_always_feasible(self, seed):
+        inst = class_uniform_restrictions_instance(14, 4, 4, seed=seed,
+                                                   min_eligible=2, max_eligible=3)
+        result = class_uniform_restrictions_approximation(inst)
+        assert result.schedule.validate() == []
+
+
+class TestClassUniformPtimes:
+    def test_decision_accepts_optimum_within_factor_3(self):
+        for seed in range(4):
+            inst = class_uniform_ptimes_instance(18, 4, 5, seed=seed)
+            opt = milp_optimal(inst, time_limit=30)
+            schedule = class_uniform_ptimes_decision(inst, opt.makespan)
+            assert schedule is not None
+            assert schedule.validate() == []
+            assert schedule.makespan() <= 3.0 * opt.makespan * (1 + 1e-6)
+
+    def test_approximation_respects_guarantee(self):
+        """Theorem 3.11: never worse than 3·OPT (plus search slack)."""
+        for seed in range(5):
+            inst = class_uniform_ptimes_instance(20, 5, 6, seed=seed)
+            opt = milp_optimal(inst, time_limit=30)
+            result = class_uniform_ptimes_approximation(inst)
+            assert result.schedule.validate() == []
+            assert result.makespan <= 3.0 * 1.03 * opt.makespan * (1 + 1e-6)
+
+    def test_rejects_non_class_uniform_instance(self, small_unrelated):
+        if not small_unrelated.has_class_uniform_processing_times():
+            with pytest.raises(ValueError):
+                class_uniform_ptimes_approximation(small_unrelated)
+
+    def test_decision_rejects_tiny_guess(self, small_cu_ptimes):
+        assert class_uniform_ptimes_decision(small_cu_ptimes, 1e-3) is None
+
+    def test_metadata(self, small_cu_ptimes):
+        result = class_uniform_ptimes_approximation(small_cu_ptimes)
+        assert result.meta["search_iterations"] >= 1
+        assert result.guarantee >= 3.0

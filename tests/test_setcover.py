@@ -1,0 +1,183 @@
+"""Tests for the SetCover substrate and the Section 3.2 hardness reduction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.setcover import (
+    HardnessInstance,
+    SetCoverInstance,
+    exact_min_cover,
+    greedy_set_cover,
+    integrality_gap_instance,
+    lp_cover_value,
+    planted_cover_instance,
+    reduce_to_scheduling,
+)
+from repro.setcover.lp import ilp_cover_value
+
+
+class TestSetCoverInstance:
+    def test_from_lists(self):
+        inst = SetCoverInstance.from_lists(4, [[0, 1], [2, 3], [1, 2]])
+        assert inst.num_subsets == 3
+        assert inst.universe_size == 4
+
+    def test_validation_out_of_range(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance.from_lists(2, [[0, 5]])
+
+    def test_validation_uncoverable(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance.from_lists(3, [[0, 1]])
+
+    def test_membership_matrix(self):
+        inst = SetCoverInstance.from_lists(3, [[0, 1], [2]])
+        mat = inst.membership_matrix()
+        assert mat.shape == (2, 3)
+        assert mat[0].tolist() == [True, True, False]
+
+    def test_is_cover_and_certificate(self):
+        inst = SetCoverInstance.from_lists(4, [[0, 1], [2, 3], [1, 2]])
+        assert inst.is_cover([0, 1])
+        assert not inst.is_cover([2])
+        assert inst.cover_certificate([2]) == [0, 3]
+
+    def test_element_frequencies(self):
+        inst = SetCoverInstance.from_lists(3, [[0, 1], [1, 2]])
+        assert inst.element_frequencies().tolist() == [1, 2, 1]
+
+
+class TestGreedyAndExact:
+    def test_greedy_produces_cover(self):
+        inst, _ = planted_cover_instance(20, 10, 4, seed=1)
+        cover = greedy_set_cover(inst)
+        assert inst.is_cover(cover)
+
+    def test_greedy_respects_harmonic_bound(self):
+        """Greedy is an H_N approximation of the optimum."""
+        for seed in range(3):
+            inst, planted = planted_cover_instance(16, 8, 3, seed=seed)
+            greedy = greedy_set_cover(inst)
+            opt = exact_min_cover(inst)
+            h_n = sum(1.0 / i for i in range(1, inst.universe_size + 1))
+            assert len(greedy) <= math.ceil(h_n * len(opt)) + 1e-9
+            assert len(opt) <= len(planted)
+
+    def test_exact_is_minimum(self):
+        inst = SetCoverInstance.from_lists(4, [[0, 1, 2, 3], [0, 1], [2, 3], [0], [3]])
+        assert len(exact_min_cover(inst)) == 1
+
+    def test_exact_matches_ilp(self):
+        for seed in range(3):
+            inst, _ = planted_cover_instance(12, 8, 3, seed=seed + 10)
+            assert len(exact_min_cover(inst)) == ilp_cover_value(inst)
+
+    def test_exact_refuses_large(self):
+        inst, _ = planted_cover_instance(30, 30, 5, seed=0)
+        with pytest.raises(ValueError):
+            exact_min_cover(inst, max_subsets=10)
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_greedy_cover_validity(self, seed):
+        inst, planted = planted_cover_instance(15, 9, 3, seed=seed)
+        cover = greedy_set_cover(inst)
+        assert inst.is_cover(cover)
+        assert inst.is_cover(planted)
+
+
+class TestLPAndGap:
+    def test_lp_below_integral(self):
+        inst, _ = planted_cover_instance(14, 8, 3, seed=4)
+        assert lp_cover_value(inst) <= ilp_cover_value(inst) + 1e-6
+
+    def test_gap_instance_structure(self):
+        for q in (2, 3, 4):
+            inst = integrality_gap_instance(q)
+            assert inst.universe_size == 2**q - 1
+            assert inst.num_subsets == 2**q - 1
+            # Every set contains exactly 2^{q-1} elements.
+            assert all(len(s) == 2 ** (q - 1) for s in inst.subsets)
+
+    def test_gap_grows_logarithmically(self):
+        """Fractional value stays < 2 while the integral optimum needs ≥ q sets."""
+        for q in (3, 4):
+            inst = integrality_gap_instance(q)
+            lp = lp_cover_value(inst)
+            greedy = len(greedy_set_cover(inst))
+            assert lp < 2.0 + 1e-6
+            assert greedy >= q
+
+    def test_planted_cover_is_returned_correctly(self):
+        inst, planted = planted_cover_instance(12, 6, 3, seed=2)
+        assert len(planted) == 3
+        assert inst.is_cover(planted)
+
+
+class TestReduction:
+    def test_dimensions(self):
+        sc, _ = planted_cover_instance(10, 6, 3, seed=3)
+        hardness = reduce_to_scheduling(sc, 3, seed=5)
+        inst = hardness.scheduling
+        expected_classes = max(1, math.ceil(6 / 3 * math.log2(6)))
+        assert hardness.num_classes == expected_classes
+        assert inst.num_machines == sc.num_subsets
+        assert inst.num_jobs == hardness.num_classes * sc.universe_size
+        assert np.all(inst.setups == 1.0)
+
+    def test_eligibility_follows_permuted_membership(self):
+        sc, _ = planted_cover_instance(8, 5, 2, seed=6)
+        hardness = reduce_to_scheduling(sc, 2, seed=7)
+        inst = hardness.scheduling
+        for k in range(hardness.num_classes):
+            for e in range(sc.universe_size):
+                j = hardness.job_index(k, e)
+                for i in range(inst.num_machines):
+                    subset = sc.subsets[int(hardness.permutations[k, i])]
+                    if e in subset:
+                        assert inst.processing[i, j] == 0.0
+                    else:
+                        assert np.isinf(inst.processing[i, j])
+
+    def test_yes_schedule_feasible_and_bounded(self):
+        sc, planted = planted_cover_instance(12, 8, 3, seed=8)
+        hardness = reduce_to_scheduling(sc, 3, seed=9)
+        schedule = hardness.schedule_from_cover(planted)
+        assert schedule.validate() == []
+        # Every machine pays at most one setup per class, so the makespan is
+        # at most K; the Yes-instance analysis promises O((K/m)·t + log m).
+        assert schedule.makespan() <= hardness.num_classes
+
+    def test_yes_bound_usually_holds(self):
+        """The w.h.p. bound of the proof of Theorem 3.5 holds for most seeds."""
+        sc, planted = planted_cover_instance(12, 8, 3, seed=10)
+        hits = 0
+        trials = 5
+        for s in range(trials):
+            hardness = reduce_to_scheduling(sc, 3, seed=100 + s)
+            schedule = hardness.schedule_from_cover(planted)
+            if schedule.makespan() <= hardness.yes_instance_target():
+                hits += 1
+        assert hits >= trials // 2  # the paper proves probability >= 1/2
+
+    def test_invalid_cover_rejected(self):
+        sc, _ = planted_cover_instance(10, 6, 3, seed=11)
+        hardness = reduce_to_scheduling(sc, 3, seed=12)
+        with pytest.raises(ValueError):
+            hardness.schedule_from_cover([0])
+
+    def test_no_instance_lower_bound_formula(self):
+        sc, _ = planted_cover_instance(10, 6, 3, seed=13)
+        hardness = reduce_to_scheduling(sc, 3, seed=14)
+        alpha = 2.0
+        expected = hardness.num_classes / sc.num_subsets * alpha * 3
+        assert hardness.no_instance_lower_bound(alpha) == pytest.approx(expected)
+
+    def test_rejects_degenerate_parameters(self):
+        sc, _ = planted_cover_instance(10, 6, 3, seed=15)
+        with pytest.raises(ValueError):
+            reduce_to_scheduling(sc, 0, seed=1)
