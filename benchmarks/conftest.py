@@ -41,6 +41,6 @@ def run_and_print(experiment_id: str, scale: str):
     print()
     print(table.render())
     results_dir = pathlib.Path(__file__).parent / "results"
-    results_dir.mkdir(exist_ok=True)
+    results_dir.mkdir(parents=True, exist_ok=True)
     (results_dir / f"{experiment_id.upper()}_{scale}.txt").write_text(table.render() + "\n")
     return table

@@ -5,6 +5,8 @@ Run with:  python examples/quickstart.py
 """
 
 from repro import (
+    BatchRunner,
+    algorithms_for,
     class_aware_list_schedule,
     class_oblivious_list_schedule,
     compare_algorithms,
@@ -62,6 +64,22 @@ def main() -> None:
         if name == "_reference":
             continue
         print(f"  {name:<24} ratio = {stats['ratio']:.3f}")
+
+    # The runtime registry + batch engine: discover every algorithm that can
+    # serve an instance, run a whole (algorithm x instance) grid through the
+    # (cached, possibly multi-process) BatchRunner, and let portfolio mode
+    # keep the best schedule per instance.
+    print()
+    applicable = [spec.name for spec in algorithms_for(instance)]
+    print(f"registered algorithms applicable here: {', '.join(applicable)}")
+    runner = BatchRunner()
+    batch = runner.run(["lpt-with-setups", "class-aware-greedy"],
+                       [instance, instance.without_setups()])
+    print(f"grid of {len(batch)} tasks in {batch.wall_seconds * 1000:.1f} ms "
+          f"({batch.throughput():.0f} tasks/s, "
+          f"{runner.stats['cache_hits']} cache hits)")
+    best = runner.portfolio([instance])[0]
+    print(f"portfolio winner        makespan = {best.makespan:8.1f}   ({best.name})")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ Package map
 ``repro.setcover``    SetCover substrate + Section 3.2 hardness reduction
 ``repro.generators``  synthetic instance generators and experiment suites
 ``repro.algorithms``  every algorithm of the paper + baselines + exact solvers
+``repro.runtime``     algorithm registry + parallel batch execution engine
 ``repro.analysis``    ratio measurement, experiment registry, result tables
 """
 
@@ -82,6 +83,16 @@ from repro.setcover import (
     reduce_to_scheduling,
 )
 
+# Runtime: algorithm registry + batch execution engine.
+from repro.runtime import (
+    AlgorithmSpec,
+    BatchRunner,
+    algorithm_names,
+    algorithms_for,
+    get_algorithm,
+    register_algorithm,
+)
+
 # Analysis / experiments.
 from repro.analysis import EXPERIMENTS, ResultTable, compare_algorithms, run_experiment
 
@@ -124,6 +135,13 @@ __all__ = [
     "planted_cover_instance",
     "integrality_gap_instance",
     "reduce_to_scheduling",
+    # runtime
+    "AlgorithmSpec",
+    "BatchRunner",
+    "register_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "algorithms_for",
     # analysis
     "ResultTable",
     "compare_algorithms",

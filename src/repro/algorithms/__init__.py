@@ -14,6 +14,11 @@ Layout (one module or subpackage per paper result; see DESIGN.md):
   greedy baselines used for comparison (experiment E7).
 * :mod:`repro.algorithms.exact` — exact optima via the MILP backend and a
   brute-force search for tiny instances (used to measure ratios).
+
+Every algorithm also registers itself with :mod:`repro.runtime.registry`
+(capability-based lookup + batch execution); prefer dispatching through
+:class:`repro.runtime.BatchRunner` when running more than one algorithm or
+instance.
 """
 
 from repro.algorithms.base import AlgorithmResult

@@ -26,6 +26,7 @@ from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.lp.model import Model, ObjectiveSense
 from repro.lp.solution import SolutionStatus
+from repro.runtime.registry import register_algorithm
 
 __all__ = ["milp_optimal", "brute_force_optimal", "build_ilp_um"]
 
@@ -88,6 +89,7 @@ def build_ilp_um(instance: Instance, *, integral: bool = True,
     return model, x, y, t_var
 
 
+@register_algorithm("milp-optimal", guarantee=1.0, tags=("exact",))
 def milp_optimal(instance: Instance, *, time_limit: float | None = 60.0,
                  mip_rel_gap: float = 0.0) -> AlgorithmResult:
     """Solve ILP-UM exactly (or to ``mip_rel_gap``) and return the optimal schedule."""
@@ -114,6 +116,7 @@ def milp_optimal(instance: Instance, *, time_limit: float | None = 60.0,
         meta={"objective": float(sol.objective), "mip_gap": sol.meta.get("mip_gap")})
 
 
+@register_algorithm("brute-force-optimal", guarantee=1.0, tags=("exact",))
 def brute_force_optimal(instance: Instance, *, max_jobs: int = 12) -> AlgorithmResult:
     """Exact optimum by branch-and-bound over job assignments (tiny instances).
 

@@ -25,6 +25,7 @@ from repro.algorithms.base import AlgorithmResult
 from repro.core.bounds import greedy_upper_bound
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.runtime.registry import register_algorithm
 
 __all__ = [
     "class_oblivious_list_schedule",
@@ -33,6 +34,7 @@ __all__ = [
 ]
 
 
+@register_algorithm("class-oblivious-list", tags=("baseline", "fast"))
 def class_oblivious_list_schedule(instance: Instance) -> AlgorithmResult:
     """LPT-style list scheduling that ignores setup classes while placing jobs.
 
@@ -56,6 +58,7 @@ def class_oblivious_list_schedule(instance: Instance) -> AlgorithmResult:
     return AlgorithmResult.from_schedule("class-oblivious-list", schedule, runtime=runtime)
 
 
+@register_algorithm("class-aware-greedy", tags=("baseline", "fast"))
 def class_aware_list_schedule(instance: Instance) -> AlgorithmResult:
     """Greedy list scheduling that charges the setup a job would trigger."""
     start = time.perf_counter()
@@ -64,6 +67,7 @@ def class_aware_list_schedule(instance: Instance) -> AlgorithmResult:
     return AlgorithmResult.from_schedule("class-aware-greedy", schedule, runtime=runtime)
 
 
+@register_algorithm("best-machine", tags=("baseline", "fast"))
 def best_machine_schedule(instance: Instance) -> AlgorithmResult:
     """Assign every job to its fastest eligible machine (argmin of ``p_ij``)."""
     start = time.perf_counter()

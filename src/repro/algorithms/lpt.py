@@ -32,6 +32,7 @@ import numpy as np
 from repro.algorithms.base import AlgorithmResult
 from repro.core.instance import Instance, MachineEnvironment
 from repro.core.schedule import Schedule
+from repro.runtime.registry import register_algorithm
 
 __all__ = [
     "LPT_GUARANTEE",
@@ -82,6 +83,11 @@ def lpt_assign_sizes(sizes: Sequence[float], speeds: Sequence[float]) -> np.ndar
     return assignment
 
 
+@register_algorithm(
+    "lpt-class-oblivious",
+    environments=("identical", "uniform"),
+    tags=("baseline", "fast"),
+)
 def lpt_without_setups(instance: Instance) -> AlgorithmResult:
     """Plain LPT ignoring classes and setups entirely (baseline).
 
@@ -98,6 +104,12 @@ def lpt_without_setups(instance: Instance) -> AlgorithmResult:
     return AlgorithmResult.from_schedule("lpt-class-oblivious", schedule, runtime=runtime)
 
 
+@register_algorithm(
+    "lpt-with-setups",
+    environments=("identical", "uniform"),
+    guarantee=LPT_GUARANTEE,
+    tags=("paper", "fast"),
+)
 def lpt_uniform_with_setups(instance: Instance) -> AlgorithmResult:
     """The Lemma 2.1 algorithm: placeholder replacement + LPT + setup re-insertion."""
     start = time.perf_counter()

@@ -22,6 +22,7 @@ from repro.core.bounds import BoundReport, lower_bound
 from repro.core.dual import dual_approximation_search
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.runtime.registry import register_algorithm
 
 __all__ = ["ptas_decision", "ptas_uniform"]
 
@@ -52,6 +53,11 @@ def ptas_decision(instance: Instance, guess: float,
     return schedule
 
 
+@register_algorithm(
+    "ptas-uniform",
+    environments=("identical", "uniform"),
+    tags=("paper",),
+)
 def ptas_uniform(instance: Instance, *, epsilon: float = 0.25,
                  precision: Optional[float] = None,
                  params: Optional[PTASParams] = None) -> AlgorithmResult:

@@ -32,6 +32,7 @@ from repro.core.bounds import makespan_bounds
 from repro.core.dual import dual_approximation_search
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.runtime.registry import register_algorithm
 
 __all__ = [
     "class_uniform_ptimes_decision",
@@ -105,6 +106,12 @@ def class_uniform_ptimes_decision(
     return schedule
 
 
+@register_algorithm(
+    "class-uniform-ptimes-3approx",
+    requires=("has_class_uniform_processing_times",),
+    guarantee=GUARANTEE,
+    tags=("paper",),
+)
 def class_uniform_ptimes_approximation(
     instance: Instance,
     *,

@@ -32,6 +32,7 @@ from repro.core.bounds import makespan_bounds
 from repro.core.dual import dual_approximation_search
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.runtime.registry import register_algorithm
 
 __all__ = [
     "class_uniform_restrictions_decision",
@@ -146,6 +147,13 @@ def class_uniform_restrictions_decision(
     return schedule
 
 
+@register_algorithm(
+    "class-uniform-restrictions-2approx",
+    environments=("identical", "restricted"),
+    requires=("has_class_uniform_restrictions",),
+    guarantee=GUARANTEE,
+    tags=("paper",),
+)
 def class_uniform_restrictions_approximation(
     instance: Instance,
     *,

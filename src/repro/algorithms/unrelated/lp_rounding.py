@@ -32,6 +32,7 @@ from repro.core.bounds import makespan_bounds
 from repro.core.dual import dual_approximation_search
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.runtime.registry import register_algorithm
 from repro.utils.rng import RandomState, ensure_rng
 
 __all__ = [
@@ -152,6 +153,11 @@ def randomized_rounding_decision(
     return schedule
 
 
+@register_algorithm(
+    "randomized-rounding",
+    guarantee=lambda inst: theoretical_ratio_bound(inst.num_jobs, inst.num_machines),
+    tags=("paper", "randomized", "lp"),
+)
 def randomized_rounding_approximation(
     instance: Instance,
     *,

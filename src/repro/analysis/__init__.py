@@ -18,6 +18,7 @@ from repro.analysis.ratios import ReferenceBound, compare_algorithms, reference_
 from repro.analysis.tables import ResultTable
 from repro.analysis.experiments import (
     EXPERIMENTS,
+    get_runner,
     run_experiment,
     experiment_e1_lpt,
     experiment_e2_ptas,
@@ -29,6 +30,7 @@ from repro.analysis.experiments import (
     experiment_e8_dual_search,
     experiment_e9_scalability,
     experiment_f1_speed_groups,
+    experiment_f2_batch_throughput,
 )
 
 __all__ = [
@@ -37,6 +39,7 @@ __all__ = [
     "compare_algorithms",
     "ResultTable",
     "EXPERIMENTS",
+    "get_runner",
     "run_experiment",
     "experiment_e1_lpt",
     "experiment_e2_ptas",
@@ -48,4 +51,5 @@ __all__ = [
     "experiment_e8_dual_search",
     "experiment_e9_scalability",
     "experiment_f1_speed_groups",
+    "experiment_f2_batch_throughput",
 ]

@@ -6,6 +6,14 @@ and EXPERIMENTS.md records the headline numbers.  All experiments are seeded
 through :mod:`repro.generators.suites`, so re-running them reproduces the
 same rows.
 
+Execution is dispatched through the shared :class:`repro.runtime.BatchRunner`
+(:func:`get_runner`): algorithm invocations go through the registry by name
+(``runner.run`` / ``runner.run_tasks``), and non-algorithm sweep steps (the
+E4 hardness construction, the E8 dual-search probes, the F1 structure
+analysis) go through ``runner.map``.  On a multi-core host the grids fan out
+over a process pool; results are identical to serial execution because every
+task is independently seeded.
+
 The paper itself contains no empirical evaluation (it is a theory paper);
 the experiments here verify each proven guarantee empirically and
 regenerate the structural content of Figure 1.  ``scale`` trades instance
@@ -17,34 +25,21 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.algorithms import (
-    best_machine_schedule,
-    class_aware_list_schedule,
-    class_oblivious_list_schedule,
-    lpt_uniform_with_setups,
-    lpt_without_setups,
-    milp_optimal,
-)
 from repro.algorithms.lpt import LPT_GUARANTEE
-from repro.algorithms.ptas import PTASParams, compute_groups, ptas_uniform, simplify_instance
-from repro.algorithms.restricted import (
-    class_uniform_ptimes_approximation,
-    class_uniform_restrictions_approximation,
-)
-from repro.algorithms.unrelated import (
-    randomized_rounding_approximation,
-    theoretical_ratio_bound,
-)
+from repro.algorithms.ptas import PTASParams, compute_groups, simplify_instance
+from repro.algorithms.unrelated import theoretical_ratio_bound
 from repro.analysis.ratios import reference_makespan
 from repro.analysis.tables import ResultTable
-from repro.core.bounds import greedy_upper_bound, lower_bound, lp_lower_bound, makespan_bounds
+from repro.core.bounds import greedy_upper_bound, lp_lower_bound, makespan_bounds
 from repro.core.dual import dual_approximation_search
+from repro.core.instance import Instance
 from repro.generators import uniform_instance
 from repro.generators.suites import SUITES, iter_suite
+from repro.runtime import BatchRunner, BatchTask
 from repro.setcover import (
     greedy_set_cover,
     integrality_gap_instance,
@@ -56,6 +51,7 @@ from repro.setcover import (
 __all__ = [
     "EXPERIMENTS",
     "run_experiment",
+    "get_runner",
     "experiment_e1_lpt",
     "experiment_e2_ptas",
     "experiment_e3_randomized_rounding",
@@ -66,7 +62,20 @@ __all__ = [
     "experiment_e8_dual_search",
     "experiment_e9_scalability",
     "experiment_f1_speed_groups",
+    "experiment_f2_batch_throughput",
 ]
+
+#: Shared runner: one content-hash cache across all experiments, so e.g. the
+#: LPT baseline measured by E2 for every epsilon is computed exactly once.
+_RUNNER: Optional[BatchRunner] = None
+
+
+def get_runner() -> BatchRunner:
+    """The process-pool runner shared by every experiment sweep."""
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = BatchRunner()
+    return _RUNNER
 
 
 def _limit(iterable, quick: bool, quick_count: int):
@@ -85,10 +94,14 @@ def experiment_e1_lpt(scale: str = "quick") -> ResultTable:
         columns=["n", "m", "K", "setup_regime", "reference", "lpt_ratio",
                  "plain_lpt_ratio", "guarantee"],
     )
-    for params, seed, inst in _limit(iter_suite(SUITES["e1_lpt_uniform"]), quick, 5):
+    points = _limit(iter_suite(SUITES["e1_lpt_uniform"]), quick, 5)
+    instances = [inst for _params, _seed, inst in points]
+    batch = get_runner().run(["lpt-with-setups", "lpt-class-oblivious"],
+                             instances).raise_for_failures()
+    lpt_results = batch.by_algorithm("lpt-with-setups")
+    plain_results = batch.by_algorithm("lpt-class-oblivious")
+    for (params, seed, inst), lpt, plain in zip(points, lpt_results, plain_results):
         ref = reference_makespan(inst, exact_limit=700 if quick else 2000)
-        lpt = lpt_uniform_with_setups(inst)
-        plain = lpt_without_setups(inst)
         table.add_row(
             n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes,
             setup_regime=params.get("setup_regime", "comparable"),
@@ -114,15 +127,21 @@ def experiment_e2_ptas(scale: str = "quick") -> ResultTable:
         columns=["epsilon", "instances", "mean_ratio", "max_ratio", "mean_runtime_s",
                  "lpt_mean_ratio"],
     )
-    instances = _limit(iter_suite(SUITES["e2_ptas_uniform"]), quick, 4)
+    points = _limit(iter_suite(SUITES["e2_ptas_uniform"]), quick, 4)
+    instances = [inst for _params, _seed, inst in points]
+    runner = get_runner()
+    refs = [reference_makespan(inst, exact_limit=500) for inst in instances]
+    # The LPT baseline is epsilon-independent; the shared cache means the
+    # grid below costs one run per instance regardless of len(epsilons).
+    lpt_results = runner.run(["lpt-with-setups"],
+                             instances).raise_for_failures().by_algorithm("lpt-with-setups")
     for eps in epsilons:
-        ratios, lpt_ratios, runtimes = [], [], []
-        for _params, _seed, inst in instances:
-            ref = reference_makespan(inst, exact_limit=500)
-            result = ptas_uniform(inst, epsilon=eps)
-            ratios.append(result.ratio_to(ref.value))
-            lpt_ratios.append(lpt_uniform_with_setups(inst).ratio_to(ref.value))
-            runtimes.append(result.runtime_seconds)
+        ptas_results = runner.run(
+            [("ptas-uniform", {"epsilon": eps})],
+            instances).raise_for_failures().by_algorithm("ptas-uniform")
+        ratios = [res.ratio_to(ref.value) for res, ref in zip(ptas_results, refs)]
+        lpt_ratios = [res.ratio_to(ref.value) for res, ref in zip(lpt_results, refs)]
+        runtimes = [res.runtime_seconds for res in ptas_results]
         table.add_row(
             epsilon=eps, instances=len(instances),
             mean_ratio=float(np.mean(ratios)), max_ratio=float(np.max(ratios)),
@@ -145,10 +164,20 @@ def experiment_e3_randomized_rounding(scale: str = "quick") -> ResultTable:
         columns=["n", "m", "K", "correlation", "reference", "ratio",
                  "theoretical_bound", "greedy_ratio"],
     )
-    for params, seed, inst in _limit(iter_suite(SUITES["e3_randomized_rounding"]), quick, 4):
+    points = _limit(iter_suite(SUITES["e3_randomized_rounding"]), quick, 4)
+    instances = [inst for _params, _seed, inst in points]
+    runner = get_runner()
+    rounding_results = runner.run_tasks([
+        BatchTask.make("randomized-rounding", inst,
+                       {"seed": seed, "restarts": 1 if quick else 3})
+        for _params, seed, inst in points
+    ]).raise_for_failures().results
+    greedy_results = runner.run(
+        ["class-aware-greedy"], instances).raise_for_failures().by_algorithm(
+        "class-aware-greedy")
+    for (params, seed, inst), rounding, greedy in zip(points, rounding_results,
+                                                      greedy_results):
         ref = reference_makespan(inst, exact_limit=500 if quick else 1200)
-        rounding = randomized_rounding_approximation(inst, seed=seed, restarts=1 if quick else 3)
-        greedy = class_aware_list_schedule(inst)
         table.add_row(
             n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes,
             correlation=params.get("correlation", "uncorrelated"),
@@ -165,6 +194,29 @@ def experiment_e3_randomized_rounding(scale: str = "quick") -> ResultTable:
 # ---------------------------------------------------------------------------
 # E4 — hardness construction (Section 3.2)
 # ---------------------------------------------------------------------------
+def _e4_row(args: Tuple[int, int]) -> Dict[str, object]:
+    """One hardness point (module-level so ``runner.map`` can ship it)."""
+    q, rng_seed = args
+    universe = 4 * q
+    num_subsets = 2 * q
+    t = max(2, q - 1)
+    setcover, planted = planted_cover_instance(universe, num_subsets, t, seed=rng_seed + q)
+    hardness = reduce_to_scheduling(setcover, t, seed=rng_seed + 100 + q)
+    yes_schedule = hardness.schedule_from_cover(planted)
+    greedy_cover = greedy_set_cover(setcover)
+    greedy_schedule = hardness.schedule_from_cover(greedy_cover)
+    alpha = math.log(max(universe, 2))
+    gap_inst = integrality_gap_instance(q)
+    return {
+        "universe": universe, "subsets": num_subsets, "t": t, "K": hardness.num_classes,
+        "yes_makespan": yes_schedule.makespan(),
+        "greedy_makespan": greedy_schedule.makespan(),
+        "no_lower_bound(alpha=lnN)": hardness.no_instance_lower_bound(alpha),
+        "sc_lp_value": lp_cover_value(gap_inst),
+        "sc_greedy_size": len(greedy_set_cover(gap_inst)),
+    }
+
+
 def experiment_e4_hardness_gap(scale: str = "quick") -> ResultTable:
     """Yes/No makespan gap of the SetCoverGap reduction and the SetCover LP gap."""
     quick = scale == "quick"
@@ -175,26 +227,8 @@ def experiment_e4_hardness_gap(scale: str = "quick") -> ResultTable:
                  "no_lower_bound(alpha=lnN)", "sc_lp_value", "sc_greedy_size"],
     )
     rng_seed = 20190415
-    for q in qs:
-        # Planted Yes-instance: t disjoint sets cover the universe.
-        universe = 4 * q
-        num_subsets = 2 * q
-        t = max(2, q - 1)
-        setcover, planted = planted_cover_instance(universe, num_subsets, t, seed=rng_seed + q)
-        hardness = reduce_to_scheduling(setcover, t, seed=rng_seed + 100 + q)
-        yes_schedule = hardness.schedule_from_cover(planted)
-        greedy_cover = greedy_set_cover(setcover)
-        greedy_schedule = hardness.schedule_from_cover(greedy_cover)
-        alpha = math.log(max(universe, 2))
-        gap_inst = integrality_gap_instance(q)
-        table.add_row(
-            universe=universe, subsets=num_subsets, t=t, K=hardness.num_classes,
-            yes_makespan=yes_schedule.makespan(),
-            greedy_makespan=greedy_schedule.makespan(),
-            **{"no_lower_bound(alpha=lnN)": hardness.no_instance_lower_bound(alpha)},
-            sc_lp_value=lp_cover_value(gap_inst),
-            sc_greedy_size=len(greedy_set_cover(gap_inst)),
-        )
+    for row in get_runner().map(_e4_row, [(q, rng_seed) for q in qs]):
+        table.add_row(**row)
     table.add_note("expected shape: yes_makespan stays near (K/m)·t while the no-instance "
                    "lower bound grows by the Θ(log N) factor alpha; the SetCover LP value "
                    "stays < 2 while the integral cover needs ≥ q sets (Ω(log N) gap)")
@@ -211,11 +245,16 @@ def experiment_e5_class_uniform_restrictions(scale: str = "quick") -> ResultTabl
         title="E5: restricted assignment with class-uniform restrictions (Theorem 3.10)",
         columns=["n", "m", "K", "reference", "ratio", "guarantee", "greedy_ratio"],
     )
-    for params, seed, inst in _limit(iter_suite(SUITES["e5_class_uniform_restrictions"]),
-                                     quick, 4):
+    points = _limit(iter_suite(SUITES["e5_class_uniform_restrictions"]), quick, 4)
+    instances = [inst for _params, _seed, inst in points]
+    batch = get_runner().run(
+        ["class-uniform-restrictions-2approx", "class-aware-greedy"],
+        instances).raise_for_failures()
+    approx_results = batch.by_algorithm("class-uniform-restrictions-2approx")
+    greedy_results = batch.by_algorithm("class-aware-greedy")
+    for (params, seed, inst), result, greedy in zip(points, approx_results,
+                                                    greedy_results):
         ref = reference_makespan(inst, exact_limit=500 if quick else 1500)
-        result = class_uniform_restrictions_approximation(inst)
-        greedy = class_aware_list_schedule(inst)
         table.add_row(
             n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes, reference=ref.kind,
             ratio=result.ratio_to(ref.value), guarantee=2.0,
@@ -233,10 +272,19 @@ def experiment_e6_class_uniform_ptimes(scale: str = "quick") -> ResultTable:
         title="E6: unrelated machines with class-uniform processing times (Theorem 3.11)",
         columns=["n", "m", "K", "reference", "ratio", "guarantee", "rounding_ratio"],
     )
-    for params, seed, inst in _limit(iter_suite(SUITES["e6_class_uniform_ptimes"]), quick, 4):
+    points = _limit(iter_suite(SUITES["e6_class_uniform_ptimes"]), quick, 4)
+    instances = [inst for _params, _seed, inst in points]
+    runner = get_runner()
+    approx_results = runner.run(
+        ["class-uniform-ptimes-3approx"], instances).raise_for_failures().by_algorithm(
+        "class-uniform-ptimes-3approx")
+    rounding_results = runner.run_tasks([
+        BatchTask.make("randomized-rounding", inst, {"seed": seed, "restarts": 1})
+        for _params, seed, inst in points
+    ]).raise_for_failures().results
+    for (params, seed, inst), result, rounding in zip(points, approx_results,
+                                                      rounding_results):
         ref = reference_makespan(inst, exact_limit=500 if quick else 1500)
-        result = class_uniform_ptimes_approximation(inst)
-        rounding = randomized_rounding_approximation(inst, seed=seed, restarts=1)
         table.add_row(
             n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes, reference=ref.kind,
             ratio=result.ratio_to(ref.value), guarantee=3.0,
@@ -259,25 +307,45 @@ def experiment_e7_baselines(scale: str = "quick") -> ResultTable:
         columns=["environment", "setup_regime", "reference", "class_oblivious_ratio",
                  "class_aware_ratio", "lpt_with_setups_ratio", "best_machine_ratio"],
     )
-    for params, seed, inst in _limit(iter_suite(SUITES["e7_baselines_uniform"]), quick, 3):
+    runner = get_runner()
+
+    uniform_points = _limit(iter_suite(SUITES["e7_baselines_uniform"]), quick, 3)
+    uniform_instances = [inst for _params, _seed, inst in uniform_points]
+    uniform_batch = runner.run(
+        ["class-oblivious-list", "class-aware-greedy", "lpt-with-setups", "best-machine"],
+        uniform_instances).raise_for_failures()
+    oblivious = uniform_batch.by_algorithm("class-oblivious-list")
+    aware = uniform_batch.by_algorithm("class-aware-greedy")
+    lpt = uniform_batch.by_algorithm("lpt-with-setups")
+    best = uniform_batch.by_algorithm("best-machine")
+    for idx, (params, seed, inst) in enumerate(uniform_points):
         ref = reference_makespan(inst, exact_limit=600)
         table.add_row(
             environment="uniform", setup_regime=params.get("setup_regime"),
             reference=ref.kind,
-            class_oblivious_ratio=class_oblivious_list_schedule(inst).ratio_to(ref.value),
-            class_aware_ratio=class_aware_list_schedule(inst).ratio_to(ref.value),
-            lpt_with_setups_ratio=lpt_uniform_with_setups(inst).ratio_to(ref.value),
-            best_machine_ratio=best_machine_schedule(inst).ratio_to(ref.value),
+            class_oblivious_ratio=oblivious[idx].ratio_to(ref.value),
+            class_aware_ratio=aware[idx].ratio_to(ref.value),
+            lpt_with_setups_ratio=lpt[idx].ratio_to(ref.value),
+            best_machine_ratio=best[idx].ratio_to(ref.value),
         )
-    for params, seed, inst in _limit(iter_suite(SUITES["e7_baselines_unrelated"]), quick, 2):
+
+    unrelated_points = _limit(iter_suite(SUITES["e7_baselines_unrelated"]), quick, 2)
+    unrelated_instances = [inst for _params, _seed, inst in unrelated_points]
+    unrelated_batch = runner.run(
+        ["class-oblivious-list", "class-aware-greedy", "best-machine"],
+        unrelated_instances).raise_for_failures()
+    oblivious = unrelated_batch.by_algorithm("class-oblivious-list")
+    aware = unrelated_batch.by_algorithm("class-aware-greedy")
+    best = unrelated_batch.by_algorithm("best-machine")
+    for idx, (params, seed, inst) in enumerate(unrelated_points):
         ref = reference_makespan(inst, exact_limit=600)
         setup_range = params.get("setup_range", (1.0, 100.0))
         regime = "dominant" if setup_range[0] >= 50 else "small"
         table.add_row(
             environment="unrelated", setup_regime=regime, reference=ref.kind,
-            class_oblivious_ratio=class_oblivious_list_schedule(inst).ratio_to(ref.value),
-            class_aware_ratio=class_aware_list_schedule(inst).ratio_to(ref.value),
-            best_machine_ratio=best_machine_schedule(inst).ratio_to(ref.value),
+            class_oblivious_ratio=oblivious[idx].ratio_to(ref.value),
+            class_aware_ratio=aware[idx].ratio_to(ref.value),
+            best_machine_ratio=best[idx].ratio_to(ref.value),
         )
     table.add_note("expected shape: class-oblivious scheduling degrades as setups grow "
                    "(dominant regime) while class-aware algorithms stay bounded — the "
@@ -288,6 +356,33 @@ def experiment_e7_baselines(scale: str = "quick") -> ResultTable:
 # ---------------------------------------------------------------------------
 # E8 — dual approximation search behaviour
 # ---------------------------------------------------------------------------
+def _e8_rows(args: Tuple[Instance, Tuple[float, ...]]) -> List[Dict[str, object]]:
+    """All dual-search probes of one instance (module-level for ``runner.map``).
+
+    Grouped per instance so the bounds are computed once and the instance
+    is shipped to the pool once, not once per precision.
+    """
+    inst, precisions = args
+    bounds = makespan_bounds(inst)
+
+    def decision(guess: float):
+        _, schedule = greedy_upper_bound(inst)
+        return schedule if schedule.makespan() <= 3.0 * guess else None
+
+    rows = []
+    for precision in precisions:
+        result = dual_approximation_search(inst, decision, precision=precision,
+                                           bounds=bounds)
+        final_gap = (result.accepted_guess / result.rejected_guess
+                     if result.rejected_guess else float("nan"))
+        rows.append({
+            "n": inst.num_jobs, "m": inst.num_machines, "precision": precision,
+            "iterations": result.iterations, "accepted_guess": result.accepted_guess,
+            "initial_gap": bounds.width(), "final_gap": final_gap,
+        })
+    return rows
+
+
 def experiment_e8_dual_search(scale: str = "quick") -> ResultTable:
     """Convergence of the dual-approximation binary search (Section 1.1.1)."""
     quick = scale == "quick"
@@ -296,22 +391,13 @@ def experiment_e8_dual_search(scale: str = "quick") -> ResultTable:
         columns=["n", "m", "precision", "iterations", "accepted_guess", "initial_gap",
                  "final_gap"],
     )
-    for params, seed, inst in _limit(iter_suite(SUITES["e8_dual_search"]), quick, 2):
-        bounds = makespan_bounds(inst)
-        for precision in ([0.1, 0.02] if quick else [0.2, 0.1, 0.05, 0.02, 0.01]):
-            def decision(guess: float):
-                _, schedule = greedy_upper_bound(inst)
-                return schedule if schedule.makespan() <= 3.0 * guess else None
-
-            result = dual_approximation_search(inst, decision, precision=precision,
-                                               bounds=bounds)
-            final_gap = (result.accepted_guess / result.rejected_guess
-                         if result.rejected_guess else float("nan"))
-            table.add_row(
-                n=inst.num_jobs, m=inst.num_machines, precision=precision,
-                iterations=result.iterations, accepted_guess=result.accepted_guess,
-                initial_gap=bounds.width(), final_gap=final_gap,
-            )
+    precisions = [0.1, 0.02] if quick else [0.2, 0.1, 0.05, 0.02, 0.01]
+    probes = [(inst, tuple(precisions))
+              for _params, _seed, inst in _limit(iter_suite(SUITES["e8_dual_search"]),
+                                                 quick, 2)]
+    for rows in get_runner().map(_e8_rows, probes):
+        for row in rows:
+            table.add_row(**row)
     table.add_note("expected shape: iterations grow logarithmically as the precision shrinks; "
                    "the final accepted/rejected gap is at most 1+precision")
     return table
@@ -321,31 +407,36 @@ def experiment_e8_dual_search(scale: str = "quick") -> ResultTable:
 # E9 — scalability
 # ---------------------------------------------------------------------------
 def experiment_e9_scalability(scale: str = "quick") -> ResultTable:
-    """Runtime of the polynomial-time algorithms as n, m, K grow."""
+    """Runtime of the polynomial-time algorithms as n, m, K grow.
+
+    Uses a dedicated single-worker runner: the measured quantity *is* the
+    per-task runtime, and concurrent siblings on a process pool would
+    contaminate it with cache/bandwidth contention.
+    """
     quick = scale == "quick"
     table = ResultTable(
         title="E9: runtime scalability of the polynomial-time algorithms",
         columns=["n", "m", "K", "lpt_s", "greedy_s", "ptas_eps0.25_s", "lp_lower_bound_s"],
     )
     points = _limit(iter_suite(SUITES["e9_scalability"]), quick, 2)
-    for params, seed, inst in points:
-        t0 = time.perf_counter()
-        lpt_uniform_with_setups(inst)
-        t_lpt = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        class_aware_list_schedule(inst)
-        t_greedy = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        ptas_uniform(inst, epsilon=0.25)
-        t_ptas = time.perf_counter() - t0
+    instances = [inst for _params, _seed, inst in points]
+    batch = BatchRunner(max_workers=1, cache=False).run(
+        ["lpt-with-setups", "class-aware-greedy", ("ptas-uniform", {"epsilon": 0.25})],
+        instances).raise_for_failures()
+    lpt = batch.by_algorithm("lpt-with-setups")
+    greedy = batch.by_algorithm("class-aware-greedy")
+    ptas = batch.by_algorithm("ptas-uniform")
+    for idx, (params, seed, inst) in enumerate(points):
         t_lp = float("nan")
         if inst.num_jobs * inst.num_machines <= 20000:
             t0 = time.perf_counter()
             lp_lower_bound(inst)
             t_lp = time.perf_counter() - t0
         table.add_row(n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes,
-                      **{"lpt_s": t_lpt, "greedy_s": t_greedy,
-                         "ptas_eps0.25_s": t_ptas, "lp_lower_bound_s": t_lp})
+                      **{"lpt_s": lpt[idx].runtime_seconds,
+                         "greedy_s": greedy[idx].runtime_seconds,
+                         "ptas_eps0.25_s": ptas[idx].runtime_seconds,
+                         "lp_lower_bound_s": t_lp})
     table.add_note("expected shape: near-linear growth for LPT/greedy, polynomial for the "
                    "PTAS decision and the LP")
     return table
@@ -354,36 +445,100 @@ def experiment_e9_scalability(scale: str = "quick") -> ResultTable:
 # ---------------------------------------------------------------------------
 # F1 — Figure 1 (speed groups)
 # ---------------------------------------------------------------------------
-def experiment_f1_speed_groups(scale: str = "quick") -> ResultTable:
-    """Regenerate the structural content of Figure 1 for a generated instance."""
-    quick = scale == "quick"
-    spec = SUITES["f1_speed_groups"]
-    params, seed, inst = next(iter(iter_suite(spec)))
-    eps = 0.25
+def _f1_rows(args: Tuple[Instance, float]) -> List[Dict[str, object]]:
+    """Group-structure rows for one instance (shipped through ``runner.map``)."""
+    inst, eps = args
     ptas_params = PTASParams(epsilon=eps)
     guess = makespan_bounds(inst).upper
     simplified = simplify_instance(inst, guess, ptas_params)
     assert simplified is not None
     groups = compute_groups(simplified.instance, simplified.inflated_guess, ptas_params)
+    rows = []
+    for g in groups.groups_with_machines():
+        lo, hi = groups.group_bounds(g)
+        classes_here = [k for k in range(simplified.instance.num_classes)
+                        if int(groups.class_core_group[k]) == g]
+        rows.append({
+            "group": g, "speed_low": lo, "speed_high": hi,
+            "num_machines": len(groups.machines_only_in_group(g)),
+            "classes_with_core_group": len(classes_here),
+            "fringe_jobs_native_here": len(groups.fringe_jobs_with_native_group(g)),
+        })
+    return rows
+
+
+def experiment_f1_speed_groups(scale: str = "quick") -> ResultTable:
+    """Regenerate the structural content of Figure 1 for a generated instance."""
+    quick = scale == "quick"
+    spec = SUITES["f1_speed_groups"]
+    params, seed, inst = next(iter(iter_suite(spec)))
     table = ResultTable(
         title="F1: speed groups and per-class core intervals (Figure 1)",
         columns=["group", "speed_low", "speed_high", "num_machines", "classes_with_core_group",
                  "fringe_jobs_native_here"],
     )
-    present = groups.groups_with_machines()
-    for g in present:
-        lo, hi = groups.group_bounds(g)
-        classes_here = [k for k in range(simplified.instance.num_classes)
-                        if int(groups.class_core_group[k]) == g]
-        table.add_row(
-            group=g, speed_low=lo, speed_high=hi,
-            num_machines=len(groups.machines_only_in_group(g)),
-            classes_with_core_group=len(classes_here),
-            fringe_jobs_native_here=len(groups.fringe_jobs_with_native_group(g)),
-        )
+    for rows in get_runner().map(_f1_rows, [(inst, 0.25)]):
+        for row in rows:
+            table.add_row(**row)
     table.add_note("groups overlap pairwise (each speed lies in exactly two consecutive "
                    "groups); per-class core-machine speed intervals are fully contained in "
                    "the class's core group, as sketched in Figure 1")
+    return table
+
+
+# ---------------------------------------------------------------------------
+# F2 — batch runtime throughput (serial vs process pool)
+# ---------------------------------------------------------------------------
+#: Algorithms used for the throughput grid.  The PTAS at a small epsilon
+#: makes each task cost tens of milliseconds, so pool startup and pickling
+#: overheads amortise and the measured speedup reflects the dispatch
+#: engine, not fork latency.
+F2_ALGORITHMS = (("ptas-uniform", {"epsilon": 0.05}),
+                 ("lpt-with-setups", {}),
+                 ("class-aware-greedy", {}))
+
+
+def experiment_f2_batch_throughput(scale: str = "quick") -> ResultTable:
+    """Instances/second of the batch runtime, serial vs parallel dispatch.
+
+    Runs the same ``(algorithm × instance)`` grid twice with the result
+    cache disabled: once on a single in-process worker and once with the
+    auto-sized process pool.  Tasks are interleaved instance-major and
+    dispatched in small chunks so heavy PTAS tasks spread across workers.
+    On a single-CPU host the two modes coincide (the runner degrades to
+    in-process execution) and the speedup column stays ≈ 1.
+    """
+    quick = scale == "quick"
+    num_instances = 16 if quick else 48
+    n, m, K = (200, 12, 20) if quick else (400, 20, 40)
+    instances = [uniform_instance(n, m, K, seed=7000 + i, integral=True)
+                 for i in range(num_instances)]
+    tasks = [BatchTask.make(name, inst, kwargs)
+             for inst in instances for name, kwargs in F2_ALGORITHMS]
+
+    serial = BatchRunner(max_workers=1, cache=False)
+    serial_batch = serial.run_tasks(tasks)
+    serial_batch.raise_for_failures()
+    parallel = BatchRunner(cache=False, chunk_size=2)
+    parallel_batch = parallel.run_tasks(tasks)
+    parallel_batch.raise_for_failures()
+
+    table = ResultTable(
+        title="F2: batch runtime throughput — serial vs process-pool dispatch",
+        columns=["mode", "workers", "tasks", "wall_s", "tasks_per_s",
+                 "speedup_vs_serial"],
+    )
+    table.add_row(mode="serial", workers=1, tasks=len(serial_batch),
+                  wall_s=serial_batch.wall_seconds,
+                  tasks_per_s=serial_batch.throughput(), speedup_vs_serial=1.0)
+    speedup = (serial_batch.wall_seconds / parallel_batch.wall_seconds
+               if parallel_batch.wall_seconds > 0 else float("inf"))
+    table.add_row(mode="parallel", workers=parallel.max_workers,
+                  tasks=len(parallel_batch), wall_s=parallel_batch.wall_seconds,
+                  tasks_per_s=parallel_batch.throughput(),
+                  speedup_vs_serial=speedup)
+    table.add_note("expected shape: tasks_per_s scales with the worker count; on a "
+                   "single-CPU host both modes run in-process and the speedup is ~1")
     return table
 
 
@@ -401,11 +556,12 @@ EXPERIMENTS: Dict[str, Callable[[str], ResultTable]] = {
     "E8": experiment_e8_dual_search,
     "E9": experiment_e9_scalability,
     "F1": experiment_f1_speed_groups,
+    "F2": experiment_f2_batch_throughput,
 }
 
 
 def run_experiment(experiment_id: str, scale: str = "quick") -> ResultTable:
-    """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``)."""
+    """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``, ``"F2"``)."""
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")

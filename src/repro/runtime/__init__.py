@@ -1,0 +1,66 @@
+"""Algorithm registry and batch execution runtime.
+
+This package turns the loose algorithm functions of
+:mod:`repro.algorithms` into a servable scheduling system:
+
+* :mod:`repro.runtime.registry` — every solver registers itself with
+  :func:`register_algorithm`, declaring the machine environments it
+  supports, any structural preconditions, and its proven approximation
+  guarantee.  :func:`algorithms_for` answers "which algorithms can run on
+  this instance?" without hard-coding algorithm lists anywhere.
+* :mod:`repro.runtime.runner` — :class:`BatchRunner` executes
+  ``(algorithm × instance)`` grids through a ``concurrent.futures``
+  process pool with chunked dispatch, per-task content-hash result
+  caching, timeout/error capture into ``AlgorithmResult.meta``, and a
+  :meth:`BatchRunner.portfolio` mode returning the best schedule per
+  instance.
+
+Quickstart
+----------
+>>> from repro.generators import uniform_instance
+>>> from repro.runtime import BatchRunner, algorithms_for
+>>> instances = [uniform_instance(40, 4, 5, seed=s) for s in range(8)]
+>>> [spec.name for spec in algorithms_for(instances[0])]  # doctest: +ELLIPSIS
+['class-aware-greedy', ...]
+>>> runner = BatchRunner()                      # process pool, auto-sized
+>>> batch = runner.run(["lpt-with-setups", "class-aware-greedy"], instances)
+>>> best = runner.portfolio(instances)          # best schedule per instance
+>>> len(best) == len(instances)
+True
+
+All experiment sweeps (``repro.analysis.experiments``) and the benchmark
+harness dispatch through this runtime, so a cache or scheduling
+improvement here speeds up every consumer at once.
+"""
+
+from repro.runtime.registry import (
+    AlgorithmSpec,
+    algorithm_names,
+    algorithms_for,
+    all_algorithms,
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.runtime.runner import (
+    BatchResult,
+    BatchRunner,
+    BatchTask,
+    instance_fingerprint,
+    usable_cpus,
+)
+
+__all__ = [
+    "AlgorithmSpec",
+    "register_algorithm",
+    "unregister_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "all_algorithms",
+    "algorithms_for",
+    "BatchTask",
+    "BatchResult",
+    "BatchRunner",
+    "instance_fingerprint",
+    "usable_cpus",
+]

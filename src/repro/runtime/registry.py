@@ -1,0 +1,250 @@
+"""Decorator-based algorithm registry with capability lookup.
+
+Every algorithm in :mod:`repro.algorithms` registers itself at import time
+via :func:`register_algorithm`, declaring:
+
+* the machine environments it supports (``environments``);
+* optional structural preconditions as names of boolean
+  :class:`~repro.core.instance.Instance` predicates (``requires``), e.g.
+  ``"has_class_uniform_restrictions"`` for the Theorem 3.10 algorithm;
+* its proven worst-case approximation ``guarantee`` — a float for fixed
+  factors (LPT's ``3(1+1/√3)``), a callable ``Instance -> float`` for
+  instance-dependent bounds (the ``O(log n + log m)`` rounding), or
+  ``None`` for heuristics;
+* free-form ``tags`` (``"exact"`` marks solvers with exponential /
+  MILP worst cases that capability lookup excludes by default).
+
+:func:`algorithms_for` then answers "which registered algorithms can run
+on this instance?" — the single source of truth used by the batch runner's
+portfolio mode, the experiment harness, and the cross-algorithm property
+tests.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.core.instance import Instance, MachineEnvironment
+
+if TYPE_CHECKING:  # import at runtime would cycle through repro.algorithms
+    from repro.algorithms.base import AlgorithmResult
+
+__all__ = [
+    "AlgorithmSpec",
+    "register_algorithm",
+    "unregister_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "all_algorithms",
+    "algorithms_for",
+]
+
+#: A guarantee is a fixed factor, an instance-dependent bound, or absent.
+GuaranteeLike = Union[float, Callable[[Instance], float], None]
+
+_ENV_ALIASES = {env.value: env for env in MachineEnvironment}
+
+#: Modules whose import populates the registry (every module that applies
+#: the decorator).  Imported lazily on first lookup so that importing
+#: ``repro.runtime`` alone stays cheap and cycle-free.
+_ALGORITHM_MODULES = (
+    "repro.algorithms.lpt",
+    "repro.algorithms.list_scheduling",
+    "repro.algorithms.exact",
+    "repro.algorithms.ptas.driver",
+    "repro.algorithms.restricted.class_uniform_restrictions",
+    "repro.algorithms.restricted.class_uniform_ptimes",
+    "repro.algorithms.unrelated.lp_rounding",
+)
+
+_REGISTRY: Dict[str, "AlgorithmSpec"] = {}
+_loaded = False
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A registered algorithm and its declared capabilities.
+
+    Attributes
+    ----------
+    name:
+        Registry key; matches the ``AlgorithmResult.name`` the function
+        produces so results stay traceable to their spec.
+    func:
+        The algorithm callable ``(Instance, **kwargs) -> AlgorithmResult``.
+    environments:
+        Machine environments the algorithm accepts.
+    requires:
+        Names of zero-argument boolean ``Instance`` methods that must all
+        return ``True`` for the algorithm to be applicable.
+    guarantee:
+        Proven worst-case factor (see module docstring).
+    tags:
+        Free-form labels; ``"exact"`` is excluded from capability lookup
+        by default.
+    description:
+        One-line summary (defaults to the function's first docstring line).
+    """
+
+    name: str
+    func: Callable[..., AlgorithmResult]
+    environments: FrozenSet[MachineEnvironment]
+    requires: Tuple[str, ...] = ()
+    guarantee: GuaranteeLike = None
+    tags: FrozenSet[str] = frozenset()
+    description: str = ""
+
+    def supports(self, instance: Instance) -> bool:
+        """Whether this algorithm can run on ``instance``."""
+        if instance.environment not in self.environments:
+            return False
+        for predicate in self.requires:
+            if not getattr(instance, predicate)():
+                return False
+        return True
+
+    def guarantee_for(self, instance: Instance) -> Optional[float]:
+        """The declared worst-case factor on ``instance`` (``None`` if heuristic)."""
+        if callable(self.guarantee):
+            return float(self.guarantee(instance))
+        return self.guarantee
+
+    def run(self, instance: Instance, **kwargs: object) -> AlgorithmResult:
+        """Execute the algorithm (convenience passthrough to ``func``)."""
+        return self.func(instance, **kwargs)
+
+    def __repr__(self) -> str:
+        envs = ",".join(sorted(e.value for e in self.environments))
+        return f"AlgorithmSpec({self.name!r}, environments={{{envs}}})"
+
+
+def _coerce_environments(environments: Iterable) -> FrozenSet[MachineEnvironment]:
+    coerced = set()
+    for env in environments:
+        if isinstance(env, MachineEnvironment):
+            coerced.add(env)
+        elif isinstance(env, str) and env in _ENV_ALIASES:
+            coerced.add(_ENV_ALIASES[env])
+        else:
+            raise ValueError(f"unknown machine environment {env!r}")
+    if not coerced:
+        raise ValueError("an algorithm must support at least one environment")
+    return frozenset(coerced)
+
+
+def register_algorithm(
+    name: str,
+    *,
+    environments: Iterable = tuple(MachineEnvironment),
+    requires: Iterable[str] = (),
+    guarantee: GuaranteeLike = None,
+    tags: Iterable[str] = (),
+    description: str = "",
+) -> Callable[[Callable[..., AlgorithmResult]], Callable[..., AlgorithmResult]]:
+    """Class/function decorator registering an algorithm under ``name``.
+
+    The decorated function is returned unchanged; the spec is attached as
+    ``func.spec`` for introspection.  Registering a duplicate name raises
+    (mirroring the registry idiom so typos fail loudly at import time).
+    """
+    envs = _coerce_environments(environments)
+    requires_tuple = tuple(requires)
+    for predicate in requires_tuple:
+        if not callable(getattr(Instance, predicate, None)):
+            raise ValueError(f"requires names an unknown Instance predicate {predicate!r}")
+
+    def decorator(func: Callable[..., AlgorithmResult]) -> Callable[..., AlgorithmResult]:
+        if name in _REGISTRY:
+            raise ValueError(f"algorithm {name!r} is already registered")
+        doc = (func.__doc__ or "").strip().splitlines()
+        spec = AlgorithmSpec(
+            name=name,
+            func=func,
+            environments=envs,
+            requires=requires_tuple,
+            guarantee=guarantee,
+            tags=frozenset(tags),
+            description=description or (doc[0] if doc else ""),
+        )
+        _REGISTRY[name] = spec
+        func.spec = spec  # type: ignore[attr-defined]
+        return func
+
+    return decorator
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove ``name`` from the registry (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def _ensure_loaded() -> None:
+    """Import every algorithm module so decoration side effects have run.
+
+    The flag is only set after every import succeeded: a failing module
+    raises on *every* lookup instead of leaving later callers with a
+    silently half-populated registry.
+    """
+    global _loaded
+    if _loaded:
+        return
+    for module in _ALGORITHM_MODULES:
+        importlib.import_module(module)
+    _loaded = True
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up one algorithm by registry name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered: {sorted(_REGISTRY)}") from None
+
+
+def algorithm_names() -> List[str]:
+    """Sorted names of every registered algorithm."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def all_algorithms() -> List[AlgorithmSpec]:
+    """Every registered spec, sorted by name for deterministic iteration."""
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def algorithms_for(
+    instance: Instance,
+    *,
+    include_exact: bool = False,
+    tags: Optional[Iterable[str]] = None,
+) -> List[AlgorithmSpec]:
+    """Capability lookup: registered algorithms applicable to ``instance``.
+
+    Parameters
+    ----------
+    instance:
+        The instance to serve.
+    include_exact:
+        Whether to include ``"exact"``-tagged solvers (MILP, brute force),
+        whose worst-case runtimes are unsuitable for blind dispatch.
+    tags:
+        When given, keep only algorithms carrying at least one of these tags.
+
+    Returns specs sorted by name so downstream tie-breaking is deterministic.
+    """
+    _ensure_loaded()
+    wanted = None if tags is None else frozenset(tags)
+    out = []
+    for spec in all_algorithms():
+        if not include_exact and "exact" in spec.tags:
+            continue
+        if wanted is not None and not (spec.tags & wanted):
+            continue
+        if spec.supports(instance):
+            out.append(spec)
+    return out

@@ -1,0 +1,600 @@
+"""Batched, parallel execution of ``(algorithm × instance)`` grids.
+
+:class:`BatchRunner` is the execution engine behind the experiment harness
+and the portfolio mode:
+
+* **chunked process-pool dispatch** — tasks are grouped into chunks and
+  shipped to a ``concurrent.futures.ProcessPoolExecutor`` so per-task
+  pickling overhead amortises; with one worker (or ``max_workers=1``) the
+  runner degrades to plain in-process execution with zero pool overhead;
+* **content-hash result caching** — each task is keyed by a SHA-256
+  fingerprint of the instance *content* (not its name), the algorithm name
+  and its keyword arguments; re-running the same work returns the identical
+  :class:`~repro.algorithms.base.AlgorithmResult` object;
+* **timeout / error capture** — a failing or timed-out task never takes the
+  batch down; it yields a sentinel result with ``makespan = inf`` and the
+  failure recorded in ``result.meta`` (``"error"`` / ``"timeout"`` keys);
+* **portfolio mode** — :meth:`BatchRunner.portfolio` runs every applicable
+  registered algorithm on each instance and keeps the best schedule, with
+  deterministic ``(makespan, algorithm name)`` tie-breaking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+import traceback
+import weakref
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmResult
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule
+from repro.runtime.registry import algorithms_for, get_algorithm
+
+__all__ = ["BatchTask", "BatchResult", "BatchRunner", "instance_fingerprint",
+           "usable_cpus"]
+
+
+def _hash_array(h, arr: np.ndarray) -> None:
+    """Feed an array's content (dtype, shape, bytes) into a hash."""
+    a = np.ascontiguousarray(arr)
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+
+
+#: Memoized fingerprints, keyed by object identity and evicted on GC.
+#: Sound because Instance is frozen; an (A algorithms x I instances) grid
+#: would otherwise re-hash every instance's matrices A times.
+_FINGERPRINT_MEMO: Dict[int, str] = {}
+
+
+def instance_fingerprint(instance: Instance) -> str:
+    """SHA-256 content hash of an instance (name and meta excluded).
+
+    Two instances with identical matrices hash identically regardless of how
+    they were generated, so cached results survive regeneration.
+    """
+    memo_key = id(instance)
+    cached = _FINGERPRINT_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    h = hashlib.sha256()
+    h.update(instance.environment.value.encode())
+    for arr in (instance.processing, instance.setups, instance.job_classes,
+                instance.speeds, instance.job_sizes, instance.setup_sizes):
+        if arr is None:
+            h.update(b"\x00none")
+        else:
+            _hash_array(h, arr)
+    fingerprint = h.hexdigest()
+    _FINGERPRINT_MEMO[memo_key] = fingerprint
+    weakref.finalize(instance, _FINGERPRINT_MEMO.pop, memo_key, None)
+    return fingerprint
+
+
+@dataclass(frozen=True, eq=False)
+class BatchTask:
+    """One unit of work: run ``algorithm`` on ``instance`` with ``kwargs``.
+
+    Equality/hashing stay identity-based (``eq=False``): the embedded
+    numpy arrays make field-wise ``==`` ambiguous.  Use :meth:`cache_key`
+    when two tasks must be compared by content.
+    """
+
+    algorithm: str
+    instance: Instance
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    @staticmethod
+    def make(algorithm: str, instance: Instance,
+             kwargs: Optional[Dict[str, object]] = None) -> "BatchTask":
+        """Build a task, normalising kwargs into a sorted tuple of pairs."""
+        items = tuple(sorted((kwargs or {}).items()))
+        return BatchTask(algorithm=algorithm, instance=instance, kwargs=items)
+
+    def kwargs_dict(self) -> Dict[str, object]:
+        return dict(self.kwargs)
+
+    def cache_key(self) -> str:
+        """Content-hash cache key for this task."""
+        h = hashlib.sha256()
+        h.update(self.algorithm.encode())
+        _hash_value(h, self.kwargs)
+        h.update(instance_fingerprint(self.instance).encode())
+        return h.hexdigest()
+
+
+def _hash_value(h, value) -> None:
+    """Feed a kwargs value into a hash by *content*.
+
+    ``repr`` alone would collide for large numpy arrays (whose repr elides
+    the middle) — arrays hash dtype+shape+bytes instead.  Objects with
+    address-bearing default reprs merely defeat caching (every instance
+    hashes differently), which is safe.
+    """
+    if isinstance(value, np.ndarray):
+        h.update(b"ndarray")
+        _hash_array(h, value)
+    elif isinstance(value, (tuple, list)):
+        h.update(f"seq{len(value)}".encode())
+        for item in value:
+            _hash_value(h, item)
+    elif isinstance(value, dict):
+        h.update(f"map{len(value)}".encode())
+        for key in sorted(value, key=repr):
+            _hash_value(h, key)
+            _hash_value(h, value[key])
+    else:
+        h.update(repr(value).encode())
+
+
+@dataclass
+class BatchResult:
+    """Results of one grid run, aligned with the submitted tasks."""
+
+    tasks: List[BatchTask]
+    results: List[AlgorithmResult]
+    wall_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_algorithm(self, name: str) -> List[AlgorithmResult]:
+        """Results of one algorithm, in instance order.
+
+        Raises when the batch ran ``name`` with more than one kwargs
+        variant: the flat result list could then not be zipped against the
+        instance list without silently mispairing results.
+        """
+        matched = [(t, r) for t, r in zip(self.tasks, self.results)
+                   if t.algorithm == name]
+        if len({repr(t.kwargs) for t, _ in matched}) > 1:
+            raise ValueError(
+                f"by_algorithm({name!r}) is ambiguous: the batch ran it with "
+                f"multiple kwargs variants; index batch.tasks/results directly")
+        return [r for _, r in matched]
+
+    def failures(self) -> List[AlgorithmResult]:
+        """Results whose task errored or timed out."""
+        return [r for r in self.results if r.meta.get("error") or r.meta.get("timeout")]
+
+    def raise_for_failures(self) -> "BatchResult":
+        """Raise ``RuntimeError`` if any task failed; return self otherwise.
+
+        For callers (like the experiment harness) where a failed algorithm
+        run is a bug to surface, not a result to serve: without this check
+        a sentinel's ``inf`` makespan would flow silently into reported
+        numbers.
+        """
+        failed = self.failures()
+        if failed:
+            first = failed[0]
+            detail = first.meta.get("error") or "timeout"
+            raise RuntimeError(
+                f"{len(failed)}/{len(self.results)} batch tasks failed; first: "
+                f"{first.name} on {first.meta.get('instance')!r}: {detail}")
+        return self
+
+    def throughput(self) -> float:
+        """Completed tasks per second of wall-clock time."""
+        if self.wall_seconds <= 0:
+            return float("inf") if self.results else 0.0
+        return len(self.results) / self.wall_seconds
+
+
+# ---------------------------------------------------------------------------
+# worker-side execution (must stay module-level: shipped to pool workers)
+# ---------------------------------------------------------------------------
+def _run_one(algorithm: str, instance: Instance,
+             kwargs: Dict[str, object]) -> Tuple[str, object]:
+    try:
+        result = get_algorithm(algorithm).run(instance, **kwargs)
+        return ("ok", result)
+    except Exception as exc:  # capture, never kill the batch
+        return ("error", (f"{type(exc).__name__}: {exc}", traceback.format_exc()))
+
+
+def _run_chunk(payload: List[Tuple[str, Instance, Dict[str, object]]]
+               ) -> List[Tuple[str, object]]:
+    return [_run_one(algorithm, instance, kwargs)
+            for algorithm, instance, kwargs in payload]
+
+
+def _map_chunk(func: Callable, items: List[object]) -> List[object]:
+    return [func(item) for item in items]
+
+
+class BatchRunner:
+    """Execute algorithm/instance grids serially or on a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; ``None`` auto-detects the usable CPU count.  A resolved
+        value of 1 runs tasks in-process (no pool, no pickling) unless
+        ``use_processes=True`` forces a pool.
+    use_processes:
+        ``None`` (default) uses a pool iff more than one worker; ``True`` /
+        ``False`` force the choice.
+    timeout:
+        Per-task wall-clock budget in seconds.  In pool mode tasks are
+        dispatched in waves of ``max_workers`` (so every task starts its
+        budget when it actually starts running); a task whose result has
+        not arrived when its wave's deadline passes yields a timeout
+        sentinel, its (presumably stuck) worker processes are terminated,
+        and a fresh pool serves the remaining waves.  In in-process mode
+        the check is necessarily post-hoc (the task runs to completion,
+        then is replaced by the sentinel).
+    cache:
+        Enable the content-hash result cache.  A cache hit returns the
+        *identical* ``AlgorithmResult`` object that the first run produced
+        (so ``meta["instance"]`` keeps the first-seen instance name; treat
+        results as immutable).
+    chunk_size:
+        Tasks per pool submission; ``None`` picks ``ceil(len/4·workers)``
+        capped at 16.  Not used when ``timeout`` is set (wave dispatch is
+        per-task).
+    mp_context:
+        ``multiprocessing`` context; defaults to ``"fork"`` where available
+        so registry state (including dynamically registered algorithms)
+        reaches the workers.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        use_processes: Optional[bool] = None,
+        timeout: Optional[float] = None,
+        cache: bool = True,
+        chunk_size: Optional[int] = None,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers if max_workers is not None else usable_cpus()
+        self.use_processes = (self.max_workers > 1 if use_processes is None
+                              else bool(use_processes))
+        self.timeout = timeout
+        self.cache_enabled = cache
+        self.chunk_size = chunk_size
+        if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
+            mp_context = multiprocessing.get_context("fork")
+        self._mp_context = mp_context
+        self._cache: Dict[str, AlgorithmResult] = {}
+        self.stats: Dict[str, int] = {"tasks": 0, "cache_hits": 0,
+                                      "errors": 0, "timeouts": 0}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        algorithms: Sequence[Union[str, Tuple[str, Dict[str, object]]]],
+        instances: Sequence[Instance],
+        *,
+        kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> BatchResult:
+        """Run every algorithm on every instance (full grid).
+
+        ``algorithms`` entries are registry names or ``(name, kwargs)``
+        pairs; ``kwargs`` optionally adds per-algorithm keyword arguments by
+        name.  Results come back grouped per algorithm in instance order
+        (use :meth:`BatchResult.by_algorithm`).
+        """
+        tasks: List[BatchTask] = []
+        for entry in algorithms:
+            name, base_kwargs = entry if isinstance(entry, tuple) else (entry, {})
+            merged = {**base_kwargs, **(kwargs or {}).get(name, {})}
+            for instance in instances:
+                tasks.append(BatchTask.make(name, instance, merged))
+        return self.run_tasks(tasks)
+
+    def run_tasks(self, tasks: Sequence[BatchTask]) -> BatchResult:
+        """Execute an explicit task list; results align with task order."""
+        start = time.perf_counter()
+        results: List[Optional[AlgorithmResult]] = [None] * len(tasks)
+
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(tasks)
+        for idx, task in enumerate(tasks):
+            self.stats["tasks"] += 1
+            if self.cache_enabled:
+                key = task.cache_key()
+                keys[idx] = key
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self.stats["cache_hits"] += 1
+                    results[idx] = hit
+                    continue
+            pending.append(idx)
+
+        if pending:
+            if self.use_processes:
+                fresh = self._execute_pool([tasks[i] for i in pending])
+                fresh = self._retry_collateral([tasks[i] for i in pending], fresh)
+            else:
+                fresh = self._execute_serial([tasks[i] for i in pending])
+            for idx, result in zip(pending, fresh):
+                results[idx] = result
+                key = keys[idx]
+                ok = not (result.meta.get("error") or result.meta.get("timeout"))
+                if self.cache_enabled and key is not None and ok:
+                    self._cache[key] = result
+
+        wall = time.perf_counter() - start
+        return BatchResult(tasks=list(tasks), results=list(results), wall_seconds=wall)
+
+    def run_one(self, algorithm: str, instance: Instance,
+                **kwargs: object) -> AlgorithmResult:
+        """Run a single task through the batch machinery (cache included)."""
+        return self.run_tasks([BatchTask.make(algorithm, instance, kwargs)]).results[0]
+
+    def portfolio(
+        self,
+        instances: Sequence[Instance],
+        algorithms: Optional[Sequence[str]] = None,
+        *,
+        kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> List[AlgorithmResult]:
+        """Best schedule per instance across a set of algorithms.
+
+        When ``algorithms`` is ``None`` the registry's capability lookup
+        picks every applicable (non-exact) algorithm per instance;
+        ``randomized``-tagged algorithms get a seed derived from the
+        instance content unless the caller provides one, keeping repeated
+        portfolio calls reproducible.  Failed
+        and timed-out runs never beat a successful one; if *every*
+        candidate failed, the (name-deterministic) failure sentinel is
+        returned so the caller can inspect ``result.meta`` — check
+        ``meta.get("error") / meta.get("timeout")`` before serving a
+        schedule.  Ties on makespan break by algorithm name, so the
+        outcome is deterministic regardless of worker scheduling.
+        """
+        tasks: List[BatchTask] = []
+        spans: List[Tuple[int, int]] = []
+        for instance in instances:
+            names = (sorted(algorithms) if algorithms is not None
+                     else [spec.name for spec in algorithms_for(instance)])
+            if not names:
+                raise ValueError(
+                    f"no registered algorithm supports instance {instance.name!r}")
+            lo = len(tasks)
+            for name in names:
+                task_kwargs = dict((kwargs or {}).get(name) or {})
+                spec = get_algorithm(name)
+                if "randomized" in spec.tags and "seed" not in task_kwargs:
+                    # Seed from the instance content so repeated portfolio
+                    # calls stay reproducible (and cache-coherent).
+                    task_kwargs["seed"] = int(instance_fingerprint(instance)[:8], 16)
+                tasks.append(BatchTask.make(name, instance, task_kwargs))
+            spans.append((lo, len(tasks)))
+        batch = self.run_tasks(tasks)
+
+        best: List[AlgorithmResult] = []
+        for lo, hi in spans:
+            candidates = [r for r in batch.results[lo:hi]
+                          if not (r.meta.get("error") or r.meta.get("timeout"))]
+            if not candidates:
+                candidates = batch.results[lo:hi]
+            best.append(min(candidates, key=lambda r: (r.makespan, r.name)))
+        return best
+
+    def map(self, func: Callable, items: Sequence[object]) -> List[object]:
+        """Chunked (possibly parallel) map for non-algorithm sweep steps.
+
+        ``func`` must be a module-level callable (picklable by reference) in
+        pool mode.  Unlike :meth:`run_tasks`, exceptions propagate: sweep
+        steps are deterministic code whose failure is a bug, not a result.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if not self.use_processes or len(items) == 1:
+            # A single item gains nothing from a pool; skip fork + pickling.
+            return [func(item) for item in items]
+        chunk = self._resolve_chunk_size(len(items))
+        chunks = [items[i:i + chunk] for i in range(0, len(items), chunk)]
+        with ProcessPoolExecutor(max_workers=self.max_workers,
+                                 mp_context=self._mp_context) as pool:
+            parts = list(pool.map(_map_chunk, [func] * len(chunks), chunks))
+        return [value for part in parts for value in part]
+
+    def clear_cache(self) -> None:
+        """Drop every cached result."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # execution backends
+    # ------------------------------------------------------------------
+    def _retry_collateral(self, tasks: Sequence[BatchTask],
+                          results: List[AlgorithmResult]) -> List[AlgorithmResult]:
+        """Re-run tasks that failed because a *sibling's* worker died.
+
+        A dying worker (OOM kill, native-code crash) breaks the whole
+        ``ProcessPoolExecutor``, failing healthy in-flight siblings along
+        with the culprit.  Casualties are first retried together on one
+        fresh pool (cheap, recovers everything when the culprit's death
+        was load-induced); any task that dies again is then isolated in
+        its own single-task pool so a deterministic culprit cannot keep
+        poisoning the others.  After that it keeps its sentinel.
+        """
+        def dead_indices(rs: List[AlgorithmResult]) -> List[int]:
+            return [i for i, r in enumerate(rs)
+                    if "worker died" in str(r.meta.get("error", ""))]
+
+        dead = dead_indices(results)
+        if not dead:
+            return results
+        group = self._execute_pool([tasks[i] for i in dead])
+        self.stats["errors"] -= len(dead)  # superseded by the retry outcomes
+        for idx, result in zip(dead, group):
+            results[idx] = result
+        still_dead = dead_indices(results)
+        self.stats["errors"] -= len(still_dead)
+        for idx in still_dead:
+            results[idx] = self._execute_pool([tasks[idx]])[0]
+        return results
+
+    def _resolve_chunk_size(self, num_tasks: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, int(self.chunk_size))
+        spread = max(1, -(-num_tasks // (4 * self.max_workers)))
+        return min(16, spread)
+
+    def _execute_serial(self, tasks: Sequence[BatchTask]) -> List[AlgorithmResult]:
+        out: List[AlgorithmResult] = []
+        for task in tasks:
+            t0 = time.perf_counter()
+            status, payload = _run_one(task.algorithm, task.instance, task.kwargs_dict())
+            elapsed = time.perf_counter() - t0
+            result = self._finalise(task, status, payload)
+            if (self.timeout is not None and elapsed > self.timeout
+                    and not result.meta.get("error")):
+                result = self._sentinel(task, timeout=True)
+                self.stats["timeouts"] += 1
+            out.append(result)
+        return out
+
+    def _execute_pool(self, tasks: Sequence[BatchTask]) -> List[AlgorithmResult]:
+        if self.timeout is not None:
+            return self._execute_pool_waves(tasks)
+        chunk = self._resolve_chunk_size(len(tasks))
+        payloads = [[(t.algorithm, t.instance, t.kwargs_dict())
+                     for t in tasks[i:i + chunk]]
+                    for i in range(0, len(tasks), chunk)]
+        results: List[AlgorithmResult] = []
+        with ProcessPoolExecutor(max_workers=self.max_workers,
+                                 mp_context=self._mp_context) as pool:
+            futures = [pool.submit(_run_chunk, payload) for payload in payloads]
+            for future, payload in zip(futures, payloads):  # submission order
+                try:
+                    outcomes = future.result()
+                except Exception as exc:  # worker died (OOM kill, segfault, …)
+                    outcomes = [("error", (f"worker died: {type(exc).__name__}: {exc}",
+                                           None))] * len(payload)
+                for status, outcome in outcomes:
+                    results.append(self._finalise(tasks[len(results)], status, outcome))
+        return results
+
+    def _execute_pool_waves(self, tasks: Sequence[BatchTask]) -> List[AlgorithmResult]:
+        """Timeout mode: waves of ``max_workers`` single-task futures.
+
+        Every task in a wave starts on a worker immediately, so its budget
+        is a true per-task wall-clock budget — a queued task never burns its
+        budget waiting behind a stuck sibling, and an early completion never
+        extends the deadline of the others.  Workers of timed-out tasks are
+        terminated (they cannot be cancelled) and a fresh pool serves the
+        next wave.
+        """
+        results: List[Optional[AlgorithmResult]] = [None] * len(tasks)
+        cursor = 0
+        pool = ProcessPoolExecutor(max_workers=self.max_workers,
+                                   mp_context=self._mp_context)
+        try:
+            while cursor < len(tasks):
+                wave = list(range(cursor, min(cursor + self.max_workers, len(tasks))))
+                cursor = wave[-1] + 1
+                future_to_index = {
+                    pool.submit(_run_one, tasks[idx].algorithm, tasks[idx].instance,
+                                tasks[idx].kwargs_dict()): idx
+                    for idx in wave
+                }
+                deadline = time.monotonic() + self.timeout
+                pending = set(future_to_index)
+                pool_broken = False
+                while pending:
+                    window = deadline - time.monotonic()
+                    if window <= 0:
+                        break
+                    done, pending = wait(pending, timeout=window,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        idx = future_to_index[future]
+                        try:
+                            status, outcome = future.result()
+                        except Exception as exc:  # worker died mid-task
+                            pool_broken = True
+                            status = "error"
+                            outcome = (f"worker died: {type(exc).__name__}: {exc}",
+                                       None)
+                        results[idx] = self._finalise(tasks[idx], status, outcome)
+                if pending:  # deadline passed with tasks still running
+                    for future in pending:
+                        idx = future_to_index[future]
+                        results[idx] = self._sentinel(tasks[idx], timeout=True)
+                        self.stats["timeouts"] += 1
+                if pending or pool_broken:  # pool is stuck or broken: replace it
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    _terminate_workers(pool)
+                    pool = ProcessPoolExecutor(max_workers=self.max_workers,
+                                               mp_context=self._mp_context)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # result shaping
+    # ------------------------------------------------------------------
+    def _finalise(self, task: BatchTask, status: str,
+                  payload: object) -> AlgorithmResult:
+        if status == "ok":
+            result = payload  # type: ignore[assignment]
+            result.meta.setdefault("instance", task.instance.name)
+            return result
+        message, tb = payload  # type: ignore[misc]
+        self.stats["errors"] += 1
+        return self._sentinel(task, error=message, traceback_text=tb)
+
+    def _sentinel(self, task: BatchTask, *, error: Optional[str] = None,
+                  traceback_text: Optional[str] = None,
+                  timeout: bool = False) -> AlgorithmResult:
+        """A failure placeholder that can never win a portfolio comparison."""
+        meta: Dict[str, object] = {"instance": task.instance.name,
+                                   "kwargs": task.kwargs_dict()}
+        if error is not None:
+            meta["error"] = error
+            meta["traceback"] = traceback_text
+        if timeout:
+            meta["timeout"] = True
+            meta["timeout_seconds"] = self.timeout
+        return AlgorithmResult(
+            name=task.algorithm,
+            schedule=Schedule(task.instance),
+            makespan=float("inf"),
+            runtime_seconds=0.0,
+            guarantee=None,
+            meta=meta,
+        )
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool's worker processes (used after a timeout).
+
+    ``cancel_futures`` cannot stop a *running* task, so an abandoned pool
+    would otherwise leak a stuck worker per timed-out batch.  Reaches into
+    the executor's worker table; guarded so a CPython-internals change
+    degrades to the old leak instead of an error.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux fallback
+        return max(1, os.cpu_count() or 1)

@@ -1,0 +1,191 @@
+"""Cross-algorithm property tests driven by the runtime registry.
+
+For every registered algorithm and every machine environment it declares,
+seeded random instances are generated and two properties asserted:
+
+* **feasibility** — the returned schedule is complete, places no job on an
+  ineligible machine (``Schedule.validate``), and its makespan is finite and
+  at least the combinatorial lower bound of :mod:`repro.core.bounds`;
+* **guarantee** — when the algorithm declares a proven approximation factor
+  (in the registry or on the returned result), the makespan is at most that
+  factor times the *exact* optimum, computed by branch-and-bound on the
+  deliberately tiny instances used here.  The exact optimum (rather than a
+  lower bound) keeps the assertion equivalent to the theorem statement: a
+  loose lower bound would turn a correct algorithm run into a false alarm.
+
+The default lane samples a handful of seeds per (algorithm, environment)
+pair so tier-1 stays fast; the ``slow`` lane re-runs the same property over
+~50 seeds per compatible environment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+import pytest
+
+from repro.algorithms.exact import brute_force_optimal
+from repro.core.bounds import lower_bound
+from repro.core.instance import Instance, MachineEnvironment
+from repro.generators import (
+    class_uniform_ptimes_instance,
+    class_uniform_restrictions_instance,
+    identical_instance,
+    restricted_instance,
+    uniform_instance,
+    unrelated_instance,
+)
+from repro.runtime import all_algorithms, get_algorithm, instance_fingerprint
+
+NUM_JOBS, NUM_MACHINES, NUM_CLASSES = 9, 3, 3
+FAST_SEEDS = 4
+FULL_SEEDS = 50
+#: Dual-search-based algorithms overshoot their factor by the declared
+#: binary-search precision, which the result's guarantee already includes;
+#: this slack only absorbs floating-point noise.
+TOLERANCE = 1e-6
+
+#: Exact optima shared across algorithms, keyed by instance content.
+_OPT_CACHE: Dict[str, float] = {}
+
+
+def _class_uniform_sizes_instance(env: MachineEnvironment, seed: int) -> Instance:
+    """Identical/uniform instance where all jobs of a class share one size.
+
+    Needed so the class-uniform-processing-times predicate holds on the
+    structured environments (the stock generators draw per-job sizes).
+    """
+    rng = np.random.default_rng(seed)
+    class_sizes = rng.integers(1, 50, size=NUM_CLASSES).astype(float)
+    job_classes = rng.integers(0, NUM_CLASSES, size=NUM_JOBS)
+    job_sizes = class_sizes[job_classes]
+    setup_sizes = rng.integers(1, 30, size=NUM_CLASSES).astype(float)
+    if env is MachineEnvironment.IDENTICAL:
+        return Instance.identical(job_sizes, setup_sizes, job_classes, NUM_MACHINES,
+                                  name=f"cu-sizes-identical-{seed}")
+    speeds = rng.uniform(1.0, 4.0, size=NUM_MACHINES)
+    return Instance.uniform(job_sizes, setup_sizes, job_classes, speeds,
+                            name=f"cu-sizes-uniform-{seed}")
+
+
+def _make_instance(spec, env: MachineEnvironment, seed: int) -> Optional[Instance]:
+    """A random instance of ``env`` satisfying ``spec``'s preconditions."""
+    if "has_class_uniform_processing_times" in spec.requires:
+        if env is MachineEnvironment.UNRELATED:
+            return class_uniform_ptimes_instance(NUM_JOBS, NUM_MACHINES, NUM_CLASSES,
+                                                 seed=seed)
+        if env in (MachineEnvironment.IDENTICAL, MachineEnvironment.UNIFORM):
+            return _class_uniform_sizes_instance(env, seed)
+        return None  # no generator for class-uniform times under restrictions
+    if "has_class_uniform_restrictions" in spec.requires and \
+            env is MachineEnvironment.RESTRICTED:
+        return class_uniform_restrictions_instance(
+            NUM_JOBS, NUM_MACHINES, NUM_CLASSES, seed=seed,
+            min_eligible=1, max_eligible=NUM_MACHINES)
+    if env is MachineEnvironment.IDENTICAL:
+        return identical_instance(NUM_JOBS, NUM_MACHINES, NUM_CLASSES,
+                                  seed=seed, integral=True)
+    if env is MachineEnvironment.UNIFORM:
+        return uniform_instance(NUM_JOBS, NUM_MACHINES, NUM_CLASSES,
+                                seed=seed, integral=True)
+    if env is MachineEnvironment.RESTRICTED:
+        return restricted_instance(NUM_JOBS, NUM_MACHINES, NUM_CLASSES,
+                                   seed=seed, min_eligible=2)
+    return unrelated_instance(NUM_JOBS, NUM_MACHINES, NUM_CLASSES, seed=seed)
+
+
+def _algorithm_kwargs(name: str, seed: int) -> Dict[str, object]:
+    if name == "randomized-rounding":
+        return {"seed": seed, "restarts": 1}
+    if name == "ptas-uniform":
+        return {"epsilon": 0.3}
+    if name == "milp-optimal":
+        return {"time_limit": 30.0}
+    return {}
+
+
+def _exact_optimum(instance: Instance) -> float:
+    key = instance_fingerprint(instance)
+    if key not in _OPT_CACHE:
+        _OPT_CACHE[key] = brute_force_optimal(instance).makespan
+    return _OPT_CACHE[key]
+
+
+def _check_algorithm_properties(name: str, env_value: str, num_seeds: int) -> None:
+    spec = get_algorithm(name)
+    env = MachineEnvironment(env_value)
+    checked = 0
+    for seed in range(num_seeds):
+        instance = _make_instance(spec, env, 10_000 * num_seeds + seed)
+        if instance is None:
+            pytest.skip(f"no generator for {name} on {env.value}")
+        if not spec.supports(instance):
+            continue
+        result = spec.run(instance, **_algorithm_kwargs(name, seed))
+
+        # Feasibility: complete, eligibility-respecting, finite, >= lower bound.
+        assert result.schedule.is_complete, f"{name} left jobs unassigned ({instance})"
+        problems = result.schedule.validate()
+        assert problems == [], f"{name} produced an invalid schedule: {problems[:3]}"
+        assert np.isfinite(result.makespan), f"{name} returned an infinite makespan"
+        lb = lower_bound(instance)
+        assert result.makespan >= lb - TOLERANCE, \
+            f"{name} beat the lower bound: {result.makespan} < {lb} ({instance})"
+
+        # Guarantee: makespan <= factor * exact optimum when a factor is
+        # declared (the result's factor wins: it reflects the actual kwargs,
+        # e.g. the PTAS epsilon and the dual-search precision).
+        guarantee = result.guarantee
+        if guarantee is None:
+            guarantee = spec.guarantee_for(instance)
+        if guarantee is not None:
+            opt = _exact_optimum(instance)
+            assert result.makespan <= guarantee * opt * (1.0 + TOLERANCE), (
+                f"{name} violated its {guarantee:.3g}x guarantee on {instance}: "
+                f"makespan {result.makespan:.6g} vs optimum {opt:.6g}")
+        checked += 1
+    assert checked > 0, f"no generated instance exercised {name} on {env.value}"
+
+
+CASES = [(spec.name, env.value)
+         for spec in all_algorithms()
+         for env in sorted(spec.environments, key=lambda e: e.value)]
+CASE_IDS = [f"{name}-{env}" for name, env in CASES]
+
+
+@pytest.mark.parametrize("name,env_value", CASES, ids=CASE_IDS)
+def test_feasibility_and_guarantee(name, env_value):
+    """Every algorithm is feasible and within its factor on a few seeds."""
+    _check_algorithm_properties(name, env_value, FAST_SEEDS)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name,env_value", CASES, ids=CASE_IDS)
+def test_feasibility_and_guarantee_full(name, env_value):
+    """The same property over ~50 seeded instances per compatible environment."""
+    _check_algorithm_properties(name, env_value, FULL_SEEDS)
+
+
+def test_every_paper_algorithm_is_registered():
+    """The registry exposes all paper results, baselines and exact solvers."""
+    names = {spec.name for spec in all_algorithms()}
+    assert {
+        "lpt-with-setups", "lpt-class-oblivious",
+        "ptas-uniform",
+        "randomized-rounding",
+        "class-uniform-restrictions-2approx", "class-uniform-ptimes-3approx",
+        "class-oblivious-list", "class-aware-greedy", "best-machine",
+        "milp-optimal", "brute-force-optimal",
+    } <= names
+
+
+def test_declared_guarantees_match_paper_constants():
+    import math
+    assert get_algorithm("lpt-with-setups").guarantee == pytest.approx(
+        3.0 * (1.0 + 1.0 / math.sqrt(3.0)))
+    assert get_algorithm("class-uniform-restrictions-2approx").guarantee == 2.0
+    assert get_algorithm("class-uniform-ptimes-3approx").guarantee == 3.0
+    inst = unrelated_instance(12, 3, 3, seed=0)
+    bound = get_algorithm("randomized-rounding").guarantee_for(inst)
+    assert bound is not None and bound > 1.0

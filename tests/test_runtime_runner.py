@@ -1,0 +1,317 @@
+"""BatchRunner edge cases: empty grids, caching, timeouts, errors, portfolio.
+
+The pool tests force ``use_processes=True`` so the dispatch path is
+exercised even on single-CPU hosts (where the runner would otherwise
+degrade to in-process execution).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import AlgorithmResult
+from repro.core.bounds import greedy_upper_bound
+from repro.core.instance import Instance
+from repro.generators import uniform_instance
+from repro.runtime import (
+    BatchRunner,
+    BatchTask,
+    algorithms_for,
+    get_algorithm,
+    instance_fingerprint,
+    register_algorithm,
+    unregister_algorithm,
+)
+
+FAST_GRID = ["lpt-with-setups", "class-aware-greedy", "best-machine"]
+
+
+def _greedy_result(name: str, instance: Instance) -> AlgorithmResult:
+    _, schedule = greedy_upper_bound(instance)
+    return AlgorithmResult.from_schedule(name, schedule)
+
+
+@pytest.fixture
+def sleeper_algorithm():
+    """A temporarily registered algorithm that stalls before answering."""
+    name = "test-sleeper"
+
+    @register_algorithm(name, tags=("test",))
+    def _sleeper(instance: Instance, *, delay: float = 1.0) -> AlgorithmResult:
+        time.sleep(delay)
+        return _greedy_result(name, instance)
+
+    yield name
+    unregister_algorithm(name)
+
+
+@pytest.fixture
+def dying_algorithm():
+    """A temporarily registered algorithm whose worker process dies."""
+    name = "test-dier"
+
+    @register_algorithm(name, tags=("test",))
+    def _dier(instance: Instance) -> AlgorithmResult:
+        import os
+        os._exit(9)
+
+    yield name
+    unregister_algorithm(name)
+
+
+@pytest.fixture
+def failing_algorithm():
+    """A temporarily registered algorithm that always raises."""
+    name = "test-failer"
+
+    @register_algorithm(name, tags=("test",))
+    def _failer(instance: Instance) -> AlgorithmResult:
+        raise ValueError("synthetic failure")
+
+    yield name
+    unregister_algorithm(name)
+
+
+class TestEmptyAndTrivialGrids:
+    def test_empty_grid(self):
+        runner = BatchRunner()
+        batch = runner.run([], [])
+        assert len(batch) == 0
+        assert batch.results == []
+        assert batch.failures() == []
+
+    def test_empty_tasks_and_map(self):
+        runner = BatchRunner()
+        assert runner.run_tasks([]).results == []
+        assert runner.map(len, []) == []
+        assert runner.portfolio([]) == []
+
+    def test_algorithms_without_instances(self):
+        batch = BatchRunner().run(FAST_GRID, [])
+        assert len(batch) == 0
+
+
+class TestDispatchModes:
+    def test_single_worker_runs_in_process(self):
+        runner = BatchRunner(max_workers=1)
+        assert not runner.use_processes
+
+    def test_single_worker_matches_pool(self):
+        instances = [uniform_instance(15, 3, 3, seed=s, integral=True)
+                     for s in range(4)]
+        serial = BatchRunner(max_workers=1, cache=False).run(FAST_GRID, instances)
+        pooled = BatchRunner(max_workers=2, use_processes=True,
+                             cache=False).run(FAST_GRID, instances)
+        assert [t.algorithm for t in serial.tasks] == [t.algorithm for t in pooled.tasks]
+        assert [r.makespan for r in serial.results] == [r.makespan for r in pooled.results]
+        assert not serial.failures() and not pooled.failures()
+
+    def test_chunked_dispatch_preserves_task_order(self):
+        instances = [uniform_instance(12, 3, 3, seed=s, integral=True)
+                     for s in range(5)]
+        runner = BatchRunner(max_workers=2, use_processes=True, cache=False,
+                             chunk_size=2)
+        batch = runner.run(FAST_GRID, instances)
+        reference = BatchRunner(max_workers=1, cache=False).run(FAST_GRID, instances)
+        assert [r.makespan for r in batch.results] == [r.makespan
+                                                       for r in reference.results]
+
+    def test_map_matches_serial(self):
+        runner = BatchRunner(max_workers=2, use_processes=True)
+        assert runner.map(abs, [-3, 1, -2, 0]) == [3, 1, 2, 0]
+
+
+class TestTimeouts:
+    def test_worker_timeout_yields_sentinel(self, sleeper_algorithm):
+        inst = uniform_instance(10, 2, 2, seed=0, integral=True)
+        runner = BatchRunner(max_workers=2, use_processes=True, timeout=0.2)
+        result = runner.run_one(sleeper_algorithm, inst, delay=1.2)
+        assert result.meta.get("timeout") is True
+        assert result.makespan == float("inf")
+        assert runner.stats["timeouts"] == 1
+
+    def test_timeout_does_not_poison_fast_tasks(self, sleeper_algorithm):
+        inst = uniform_instance(10, 2, 2, seed=0, integral=True)
+        runner = BatchRunner(max_workers=2, use_processes=True, timeout=0.5)
+        batch = runner.run_tasks([
+            BatchTask.make("class-aware-greedy", inst),
+            BatchTask.make(sleeper_algorithm, inst, {"delay": 1.5}),
+        ])
+        fast, slow = batch.results
+        assert not fast.meta.get("timeout") and np.isfinite(fast.makespan)
+        assert slow.meta.get("timeout") is True
+        assert batch.failures() == [slow]
+
+    def test_queued_task_not_charged_for_stuck_sibling(self, sleeper_algorithm):
+        # One worker: the second task is queued behind the stuck one; wave
+        # dispatch must give it a fresh budget on a fresh worker.
+        inst = uniform_instance(10, 2, 2, seed=0, integral=True)
+        runner = BatchRunner(max_workers=1, use_processes=True, timeout=0.4)
+        batch = runner.run_tasks([
+            BatchTask.make(sleeper_algorithm, inst, {"delay": 2.0}),
+            BatchTask.make("class-aware-greedy", inst),
+        ])
+        stuck, queued = batch.results
+        assert stuck.meta.get("timeout") is True
+        assert not queued.meta.get("timeout") and np.isfinite(queued.makespan)
+
+    def test_serial_timeout_is_post_hoc(self, sleeper_algorithm):
+        inst = uniform_instance(10, 2, 2, seed=0, integral=True)
+        runner = BatchRunner(max_workers=1, timeout=0.05)
+        result = runner.run_one(sleeper_algorithm, inst, delay=0.2)
+        assert result.meta.get("timeout") is True
+        assert result.makespan == float("inf")
+
+
+class TestErrorCapture:
+    def test_error_becomes_sentinel_result(self, failing_algorithm):
+        inst = uniform_instance(10, 2, 2, seed=0, integral=True)
+        runner = BatchRunner(max_workers=1)
+        result = runner.run_one(failing_algorithm, inst)
+        assert "synthetic failure" in str(result.meta["error"])
+        assert result.makespan == float("inf")
+        assert runner.stats["errors"] == 1
+
+    def test_error_in_pool_mode(self, failing_algorithm):
+        inst = uniform_instance(10, 2, 2, seed=0, integral=True)
+        runner = BatchRunner(max_workers=2, use_processes=True)
+        batch = runner.run([failing_algorithm, "class-aware-greedy"], [inst])
+        failed, ok = batch.results
+        assert "ValueError" in str(failed.meta["error"])
+        assert np.isfinite(ok.makespan)
+
+    def test_worker_death_is_captured_and_siblings_recover(self, dying_algorithm):
+        # A dying worker breaks the whole pool; the culprit must come back
+        # as an error sentinel while collateral sibling tasks are retried.
+        instances = [uniform_instance(12, 3, 3, seed=s, integral=True)
+                     for s in range(3)]
+        runner = BatchRunner(max_workers=2, use_processes=True, cache=False,
+                             chunk_size=1)
+        batch = runner.run([dying_algorithm, "class-aware-greedy"], instances)
+        died = batch.by_algorithm(dying_algorithm)
+        ok = batch.by_algorithm("class-aware-greedy")
+        assert all("worker died" in str(r.meta.get("error")) for r in died)
+        assert all(np.isfinite(r.makespan) for r in ok)
+
+    def test_unknown_algorithm_is_captured_not_raised(self):
+        inst = uniform_instance(10, 2, 2, seed=0, integral=True)
+        result = BatchRunner(max_workers=1).run_one("no-such-algorithm", inst)
+        assert "no-such-algorithm" in str(result.meta["error"])
+
+
+class TestCache:
+    def test_cache_hit_returns_identical_result(self):
+        inst = uniform_instance(15, 3, 3, seed=1, integral=True)
+        runner = BatchRunner(max_workers=1)
+        first = runner.run_one("lpt-with-setups", inst)
+        second = runner.run_one("lpt-with-setups", inst)
+        assert second is first
+        assert runner.stats["cache_hits"] == 1
+
+    def test_cache_keys_on_content_not_name(self):
+        base = uniform_instance(15, 3, 3, seed=1, integral=True)
+        renamed = Instance(
+            environment=base.environment, processing=base.processing,
+            setups=base.setups, job_classes=base.job_classes, speeds=base.speeds,
+            job_sizes=base.job_sizes, setup_sizes=base.setup_sizes,
+            name="same-content-other-name")
+        assert instance_fingerprint(base) == instance_fingerprint(renamed)
+        runner = BatchRunner(max_workers=1)
+        first = runner.run_one("class-aware-greedy", base)
+        second = runner.run_one("class-aware-greedy", renamed)
+        assert second is first
+
+    def test_kwargs_change_misses_cache(self):
+        inst = uniform_instance(15, 3, 3, seed=1, integral=True)
+        runner = BatchRunner(max_workers=1)
+        a = runner.run_one("ptas-uniform", inst, epsilon=0.5)
+        b = runner.run_one("ptas-uniform", inst, epsilon=0.4)
+        assert a is not b
+        assert runner.stats["cache_hits"] == 0
+
+    def test_cache_disabled(self):
+        inst = uniform_instance(15, 3, 3, seed=1, integral=True)
+        runner = BatchRunner(max_workers=1, cache=False)
+        a = runner.run_one("class-aware-greedy", inst)
+        b = runner.run_one("class-aware-greedy", inst)
+        assert a is not b
+
+    def test_failures_are_not_cached(self, failing_algorithm):
+        inst = uniform_instance(10, 2, 2, seed=0, integral=True)
+        runner = BatchRunner(max_workers=1)
+        a = runner.run_one(failing_algorithm, inst)
+        b = runner.run_one(failing_algorithm, inst)
+        assert a is not b
+        assert runner.stats["cache_hits"] == 0
+
+    def test_clear_cache(self):
+        inst = uniform_instance(15, 3, 3, seed=1, integral=True)
+        runner = BatchRunner(max_workers=1)
+        a = runner.run_one("class-aware-greedy", inst)
+        runner.clear_cache()
+        b = runner.run_one("class-aware-greedy", inst)
+        assert a is not b
+
+
+class TestPortfolio:
+    def test_portfolio_tie_breaking_is_deterministic(self):
+        # On one machine every complete schedule has the same makespan, so the
+        # portfolio winner is decided purely by the (makespan, name) tie-break.
+        inst = uniform_instance(10, 1, 3, seed=4, integral=True)
+        names = sorted(["lpt-with-setups", "class-aware-greedy", "best-machine"])
+        winners = {
+            BatchRunner(max_workers=1, cache=False).portfolio(
+                [inst], algorithms=names)[0].name
+            for _ in range(3)
+        }
+        assert winners == {names[0]}
+
+    def test_portfolio_picks_best_per_instance(self):
+        instances = [uniform_instance(20, 3, 4, seed=s, integral=True)
+                     for s in range(3)]
+        runner = BatchRunner(max_workers=1)
+        best = runner.portfolio(instances, algorithms=FAST_GRID)
+        grid = runner.run(FAST_GRID, instances)
+        for idx, winner in enumerate(best):
+            for name in FAST_GRID:
+                assert winner.makespan <= grid.by_algorithm(name)[idx].makespan + 1e-9
+
+    def test_portfolio_uses_capability_lookup(self):
+        inst = uniform_instance(12, 3, 3, seed=2, integral=True)
+        applicable = {spec.name for spec in algorithms_for(inst)}
+        best = BatchRunner(max_workers=1).portfolio([inst])
+        assert best[0].name in applicable
+
+    def test_portfolio_ignores_failed_runs(self, failing_algorithm):
+        inst = uniform_instance(12, 3, 3, seed=2, integral=True)
+        best = BatchRunner(max_workers=1).portfolio(
+            [inst], algorithms=[failing_algorithm, "class-aware-greedy"])
+        assert best[0].name == "class-aware-greedy"
+        assert np.isfinite(best[0].makespan)
+
+
+class TestRegistrySurface:
+    def test_spec_name_matches_result_name(self):
+        inst = uniform_instance(12, 3, 3, seed=3, integral=True)
+        for name in ("lpt-with-setups", "class-aware-greedy", "best-machine"):
+            spec = get_algorithm(name)
+            assert spec.run(inst).name == name
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("lpt-with-setups")(lambda inst: None)
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(ValueError, match="unknown Instance predicate"):
+            register_algorithm("test-bad-predicate",
+                               requires=("no_such_predicate",))(lambda inst: None)
+
+    def test_exact_solvers_hidden_from_capability_lookup(self):
+        inst = uniform_instance(12, 3, 3, seed=3, integral=True)
+        default = {spec.name for spec in algorithms_for(inst)}
+        widened = {spec.name for spec in algorithms_for(inst, include_exact=True)}
+        assert "milp-optimal" not in default
+        assert {"milp-optimal", "brute-force-optimal"} <= widened
