@@ -32,15 +32,20 @@ def run_and_print(experiment_id: str, scale: str):
 
     The rendered table is also written to ``benchmarks/results/<id>.txt`` so
     that the numbers quoted in EXPERIMENTS.md can be regenerated and diffed.
+    The shared experiment runner is given a persistent result store under
+    ``benchmarks/results/`` (gitignored), so re-running the harness reuses
+    every algorithm result computed by earlier invocations — across
+    processes, not just within one.
     """
     import pathlib
 
     from repro.analysis import run_experiment
 
-    table = run_experiment(experiment_id, scale)
-    print()
-    print(table.render())
     results_dir = pathlib.Path(__file__).parent / "results"
     results_dir.mkdir(parents=True, exist_ok=True)
+    table = run_experiment(experiment_id, scale,
+                           store_path=results_dir / "result_store.sqlite")
+    print()
+    print(table.render())
     (results_dir / f"{experiment_id.upper()}_{scale}.txt").write_text(table.render() + "\n")
     return table

@@ -81,6 +81,35 @@ def main() -> None:
     best = runner.portfolio([instance])[0]
     print(f"portfolio winner        makespan = {best.makespan:8.1f}   ({best.name})")
 
+    # Persistent result store + streaming: results written through a
+    # store-backed runner survive process restarts; a second runner (think:
+    # tomorrow's process) streams them from disk via run_iter before any
+    # pool work starts, and its cost model orders cold tasks heavy-first.
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.runtime import BatchTask
+
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-quickstart-"))
+    store_path = store_dir / "results.sqlite"
+    try:
+        tasks = [BatchTask.make("ptas-uniform", instance, {"epsilon": eps})
+                 for eps in (0.5, 0.25, 0.1)]
+        cold = BatchRunner(store=store_path)
+        cold.run_tasks(tasks)                   # computes + persists
+        cold.store.close()
+        warm = BatchRunner(store=store_path)    # fresh runner, warm disk
+        print()
+        print(f"streaming a warm re-run from {store_path.name}:")
+        for idx, result in warm.run_iter(tasks):  # yields without pool work
+            print(f"  task {idx} ({result.name:<14}) makespan = {result.makespan:8.1f}")
+        print(f"store hits: {warm.stats['store_hits']}/{len(tasks)} "
+              f"(recomputed nothing)")
+        warm.store.close()
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
 
 if __name__ == "__main__":
     main()

@@ -26,6 +26,7 @@ Package map
 ``repro.generators``  synthetic instance generators and experiment suites
 ``repro.algorithms``  every algorithm of the paper + baselines + exact solvers
 ``repro.runtime``     algorithm registry + parallel batch execution engine
+``repro.store``       persistent result store + fitted runtime cost model
 ``repro.analysis``    ratio measurement, experiment registry, result tables
 """
 
@@ -93,6 +94,9 @@ from repro.runtime import (
     register_algorithm,
 )
 
+# Persistent result store + cost model.
+from repro.store import CostModel, ResultStore
+
 # Analysis / experiments.
 from repro.analysis import EXPERIMENTS, ResultTable, compare_algorithms, run_experiment
 
@@ -142,6 +146,9 @@ __all__ = [
     "get_algorithm",
     "algorithm_names",
     "algorithms_for",
+    # store
+    "ResultStore",
+    "CostModel",
     # analysis
     "ResultTable",
     "compare_algorithms",

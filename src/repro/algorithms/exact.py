@@ -89,14 +89,15 @@ def build_ilp_um(instance: Instance, *, integral: bool = True,
     return model, x, y, t_var
 
 
-@register_algorithm("milp-optimal", guarantee=1.0, tags=("exact",))
+@register_algorithm("milp-optimal", guarantee=1.0, tags=("exact",),
+                    cost_features=("num_jobs", "num_machines", "num_classes"))
 def milp_optimal(instance: Instance, *, time_limit: float | None = 60.0,
                  mip_rel_gap: float = 0.0) -> AlgorithmResult:
     """Solve ILP-UM exactly (or to ``mip_rel_gap``) and return the optimal schedule."""
     start = time.perf_counter()
     model, x, _, _ = build_ilp_um(instance, integral=True)
     sol = model.solve(as_mip=True, time_limit=time_limit, mip_rel_gap=mip_rel_gap)
-    if sol.status is not SolutionStatus.OPTIMAL:
+    if not sol.has_solution:
         raise RuntimeError(f"MILP solve failed ({sol.status.value}): {sol.message}")
     schedule = Schedule(instance)
     for j in range(instance.num_jobs):
@@ -113,7 +114,8 @@ def milp_optimal(instance: Instance, *, time_limit: float | None = 60.0,
     runtime = time.perf_counter() - start
     return AlgorithmResult.from_schedule(
         "milp-optimal", schedule, runtime=runtime, guarantee=1.0,
-        meta={"objective": float(sol.objective), "mip_gap": sol.meta.get("mip_gap")})
+        meta={"objective": float(sol.objective), "mip_gap": sol.meta.get("mip_gap"),
+              "solve_status": sol.status.value})
 
 
 @register_algorithm("brute-force-optimal", guarantee=1.0, tags=("exact",))

@@ -111,6 +111,7 @@ def class_uniform_ptimes_decision(
     requires=("has_class_uniform_processing_times",),
     guarantee=GUARANTEE,
     tags=("paper",),
+    cost_features=("num_jobs", "num_machines", "num_classes"),
 )
 def class_uniform_ptimes_approximation(
     instance: Instance,

@@ -153,6 +153,7 @@ def class_uniform_restrictions_decision(
     requires=("has_class_uniform_restrictions",),
     guarantee=GUARANTEE,
     tags=("paper",),
+    cost_features=("num_jobs", "num_machines", "num_classes"),
 )
 def class_uniform_restrictions_approximation(
     instance: Instance,

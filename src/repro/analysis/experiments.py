@@ -24,8 +24,10 @@ harness, ``"full"`` by EXPERIMENTS.md.
 from __future__ import annotations
 
 import math
+import os
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -63,6 +65,7 @@ __all__ = [
     "experiment_e9_scalability",
     "experiment_f1_speed_groups",
     "experiment_f2_batch_throughput",
+    "experiment_f3_store_warm_vs_cold",
 ]
 
 #: Shared runner: one content-hash cache across all experiments, so e.g. the
@@ -70,11 +73,22 @@ __all__ = [
 _RUNNER: Optional[BatchRunner] = None
 
 
-def get_runner() -> BatchRunner:
-    """The process-pool runner shared by every experiment sweep."""
+def get_runner(store_path: Union[None, str, Path] = None) -> BatchRunner:
+    """The process-pool runner shared by every experiment sweep.
+
+    ``store_path`` (or the ``REPRO_RESULT_STORE`` environment variable)
+    attaches a persistent :class:`~repro.store.ResultStore`, so sweep
+    results survive process restarts — a re-run of yesterday's experiment
+    grid streams from disk instead of recomputing its MILP/PTAS seconds.
+    The runner is a singleton: the store is attached on first need and a
+    later, different path does not replace an already-attached store.
+    """
     global _RUNNER
+    path = store_path if store_path is not None else os.environ.get("REPRO_RESULT_STORE")
     if _RUNNER is None:
-        _RUNNER = BatchRunner()
+        _RUNNER = BatchRunner(store=path or None)
+    elif path:
+        _RUNNER.attach_store(path)
     return _RUNNER
 
 
@@ -543,6 +557,117 @@ def experiment_f2_batch_throughput(scale: str = "quick") -> ResultTable:
 
 
 # ---------------------------------------------------------------------------
+# F3 — persistent store: warm vs cold grid re-runs, streaming latency
+# ---------------------------------------------------------------------------
+#: The F3 grid leans on the PTAS at a small epsilon so each cold task costs
+#: a tangible fraction of a second — the quantity under test is the store's
+#: ability to *skip* that work on a warm re-run, not the work itself.
+F3_ALGORITHMS = (("ptas-uniform", {"epsilon": 0.04}),
+                 ("lpt-with-setups", {}),
+                 ("class-aware-greedy", {}))
+
+
+def _f3_stream(runner: BatchRunner, tasks: List[BatchTask]) -> Dict[str, float]:
+    """Drain ``run_iter`` and time first-yield / first-fresh / total wall.
+
+    ``first_result_s`` is the latency to the *first* streamed result of any
+    origin; ``first_fresh_s`` to the first result that was actually
+    computed this run (``nan`` when everything was warm).  The gap between
+    the two is the streaming win: warm results reach the consumer while
+    cold work is still running.
+    """
+    warm_before = runner.stats["cache_hits"] + runner.stats["store_hits"]
+    start = time.perf_counter()
+    first_result = first_fresh = float("nan")
+    count = 0
+    for _idx, _result in runner.run_iter(tasks):
+        now = time.perf_counter() - start
+        count += 1
+        if math.isnan(first_result):
+            first_result = now
+        warm_now = runner.stats["cache_hits"] + runner.stats["store_hits"]
+        if math.isnan(first_fresh) and count > warm_now - warm_before:
+            first_fresh = now
+    wall = time.perf_counter() - start
+    warm_served = (runner.stats["cache_hits"] + runner.stats["store_hits"]
+                   - warm_before)
+    return {"wall_s": wall, "first_result_s": first_result,
+            "first_fresh_s": first_fresh, "warm_served": warm_served,
+            "tasks": count}
+
+
+def experiment_f3_store_warm_vs_cold(scale: str = "quick") -> ResultTable:
+    """Persistent-store throughput: cold compute vs warm re-run vs mixed.
+
+    Three passes over the same task grid, each with a *fresh*
+    ``BatchRunner`` (empty in-memory cache) sharing one on-disk
+    :class:`~repro.store.ResultStore`:
+
+    * ``cold`` — empty store; every task computes and is persisted;
+    * ``warm`` — a new runner (think: restarted process) re-runs the
+      identical grid; everything streams from the store with no pool work;
+    * ``mixed`` — the warm grid plus fresh instances; warm results must
+      reach the consumer before the pool finishes its first cold chunk.
+
+    The pool is forced on (even on one CPU) so the mixed row measures real
+    fork/dispatch latency, and the cost model fitted from the cold pass
+    orders the mixed pass's cold tasks by descending predicted cost.
+    """
+    import shutil
+    import tempfile
+
+    quick = scale == "quick"
+    num_instances = 6 if quick else 16
+    num_fresh = 2 if quick else 4
+    n, m, K = (500, 16, 24) if quick else (900, 24, 40)
+    instances = [uniform_instance(n, m, K, seed=7300 + i, integral=True)
+                 for i in range(num_instances)]
+    fresh_instances = [uniform_instance(n, m, K, seed=7900 + i, integral=True)
+                      for i in range(num_fresh)]
+    base_tasks = [BatchTask.make(name, inst, kwargs)
+                  for inst in instances for name, kwargs in F3_ALGORITHMS]
+    mixed_tasks = base_tasks + [BatchTask.make(name, inst, kwargs)
+                                for inst in fresh_instances
+                                for name, kwargs in F3_ALGORITHMS]
+
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-f3-"))
+    store_path = store_dir / "f3_store.sqlite"
+
+    def fresh_runner() -> BatchRunner:
+        return BatchRunner(store=store_path, use_processes=True, chunk_size=2)
+
+    table = ResultTable(
+        title="F3: persistent result store — warm vs cold grid re-runs",
+        columns=["mode", "tasks", "warm_served", "wall_s", "first_result_s",
+                 "first_fresh_s", "tasks_per_s", "speedup_vs_cold"],
+    )
+    timings: Dict[str, Dict[str, float]] = {}
+    try:
+        for mode, tasks in (("cold", base_tasks), ("warm", base_tasks),
+                            ("mixed", mixed_tasks)):
+            runner = fresh_runner()
+            try:
+                timing = _f3_stream(runner, tasks)
+            finally:
+                runner.store.close()
+            timings[mode] = timing
+            table.add_row(
+                mode=mode, tasks=timing["tasks"], warm_served=timing["warm_served"],
+                wall_s=timing["wall_s"], first_result_s=timing["first_result_s"],
+                first_fresh_s=timing["first_fresh_s"],
+                tasks_per_s=timing["tasks"] / timing["wall_s"],
+                speedup_vs_cold=timings["cold"]["wall_s"] / timing["wall_s"],
+            )
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    table.add_note("expected shape: the warm re-run serves every task from the store "
+                   ">= 5x faster than the cold run; in the mixed run first_result_s "
+                   "(a warm stream hit) comes well before first_fresh_s (the first "
+                   "pool-computed result)")
+    return table
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 EXPERIMENTS: Dict[str, Callable[[str], ResultTable]] = {
@@ -557,12 +682,21 @@ EXPERIMENTS: Dict[str, Callable[[str], ResultTable]] = {
     "E9": experiment_e9_scalability,
     "F1": experiment_f1_speed_groups,
     "F2": experiment_f2_batch_throughput,
+    "F3": experiment_f3_store_warm_vs_cold,
 }
 
 
-def run_experiment(experiment_id: str, scale: str = "quick") -> ResultTable:
-    """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``, ``"F2"``)."""
+def run_experiment(experiment_id: str, scale: str = "quick",
+                   store_path: Union[None, str, Path] = None) -> ResultTable:
+    """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``–``"F3"``).
+
+    ``store_path`` attaches a persistent result store to the shared runner
+    (see :func:`get_runner`) so sweep results are reused across processes;
+    F2/F3/E9 manage their own runners and stores by design.
+    """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
+    if store_path is not None:
+        get_runner(store_path)
     return EXPERIMENTS[key](scale)

@@ -20,13 +20,18 @@ class ReferenceBound:
     Attributes
     ----------
     value:
-        The reference makespan (a lower bound on, or equal to, ``|Opt|``).
+        The reference makespan (a lower bound on, or equal to, ``|Opt|`` —
+        except for ``"incumbent"``, see below).
     kind:
-        ``"optimal"`` when it is the exact MILP optimum, ``"lp"`` for the LP
-        lower bound, ``"combinatorial"`` for the cheap combinatorial bound.
-        Ratios measured against a lower bound over-estimate the true
-        approximation ratio, so the comparison with the paper's guarantees
-        stays sound.
+        ``"optimal"`` when it is the proven MILP optimum, ``"incumbent"``
+        when the MILP hit its time limit and returned a feasible
+        gap-optimal schedule (an *upper* bound on ``|Opt|`` whose exact
+        value depends on machine load), ``"lp"`` for the LP lower bound,
+        ``"combinatorial"`` for the cheap combinatorial bound.  Ratios
+        measured against a lower bound over-estimate the true approximation
+        ratio, so the comparison with the paper's guarantees stays sound;
+        ratios against an incumbent may under-estimate it by at most the
+        solver's reported gap.
     """
 
     value: float
@@ -45,7 +50,9 @@ def reference_makespan(instance: Instance, *, exact_limit: int = 600,
     if size <= exact_limit:
         try:
             opt = milp_optimal(instance, time_limit=time_limit)
-            return ReferenceBound(value=opt.makespan, kind="optimal")
+            kind = ("incumbent" if opt.meta.get("solve_status") == "incumbent"
+                    else "optimal")
+            return ReferenceBound(value=opt.makespan, kind=kind)
         except RuntimeError:
             pass
     try:

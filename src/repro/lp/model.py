@@ -291,13 +291,16 @@ class Model:
         elif result.status == 3:
             status = SolutionStatus.UNBOUNDED
         elif result.status == 1 and result.x is not None:
-            # Hit iteration/time limit but has an incumbent.
-            status = SolutionStatus.OPTIMAL
+            # Hit the iteration/time limit (HiGHS model status 13) holding a
+            # feasible incumbent: report it honestly instead of claiming
+            # optimality — the objective is load-dependent and only
+            # gap-optimal.
+            status = SolutionStatus.INCUMBENT
         else:
             status = SolutionStatus.INFEASIBLE
         values = result.x if result.x is not None else np.full(len(bounds), np.nan)
         objective = float("nan")
-        if status is SolutionStatus.OPTIMAL and result.x is not None:
+        if status in (SolutionStatus.OPTIMAL, SolutionStatus.INCUMBENT) and result.x is not None:
             objective = self._objective.value(values)
         return Solution(status, objective, np.asarray(values, dtype=float),
                         is_mip=True, message=str(result.message),

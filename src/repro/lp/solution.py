@@ -15,6 +15,11 @@ class SolutionStatus(enum.Enum):
     """Outcome of a solve call."""
 
     OPTIMAL = "optimal"
+    #: A feasible solution found before the solver hit its time/iteration
+    #: limit.  The objective is an upper bound on the true optimum (for
+    #: minimisation), within the solver's reported gap, but optimality was
+    #: *not* proven.
+    INCUMBENT = "incumbent"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ERROR = "error"
@@ -49,6 +54,11 @@ class Solution:
     def is_optimal(self) -> bool:
         """True iff the solver proved optimality."""
         return self.status is SolutionStatus.OPTIMAL
+
+    @property
+    def has_solution(self) -> bool:
+        """True iff a feasible assignment is available (optimal or incumbent)."""
+        return self.status in (SolutionStatus.OPTIMAL, SolutionStatus.INCUMBENT)
 
     def value(self, item) -> float:
         """Value of a variable or linear expression under this solution."""

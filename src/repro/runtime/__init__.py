@@ -13,7 +13,13 @@ This package turns the loose algorithm functions of
   process pool with chunked dispatch, per-task content-hash result
   caching, timeout/error capture into ``AlgorithmResult.meta``, and a
   :meth:`BatchRunner.portfolio` mode returning the best schedule per
-  instance.
+  instance.  With ``store=`` it writes through to a persistent
+  :class:`repro.store.ResultStore` (restart-surviving cache),
+  :meth:`BatchRunner.run_iter` streams results as chunks complete (warm
+  keys first, before any pool work), cold tasks dispatch in
+  descending-cost order under a fitted
+  :class:`repro.store.CostModel`, and ``portfolio(budget_s=...)`` skips
+  solvers predicted to blow a latency budget.
 
 Quickstart
 ----------
@@ -27,6 +33,8 @@ Quickstart
 >>> best = runner.portfolio(instances)          # best schedule per instance
 >>> len(best) == len(instances)
 True
+>>> for idx, result in runner.run_iter(batch.tasks):  # doctest: +SKIP
+...     serve(result)                           # streams as chunks complete
 
 All experiment sweeps (``repro.analysis.experiments``) and the benchmark
 harness dispatch through this runtime, so a cache or scheduling

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # import at runtime would cycle through repro.algorithms
 
 __all__ = [
     "AlgorithmSpec",
+    "COST_FEATURE_CHOICES",
     "register_algorithm",
     "unregister_algorithm",
     "get_algorithm",
@@ -45,6 +46,11 @@ __all__ = [
 GuaranteeLike = Union[float, Callable[[Instance], float], None]
 
 _ENV_ALIASES = {env.value: env for env in MachineEnvironment}
+
+#: Instance properties the result store records per run — the only
+#: regressors :class:`repro.store.cost_model.CostModel` can fit on, and
+#: therefore the only names ``cost_features`` may declare.
+COST_FEATURE_CHOICES = ("num_jobs", "num_machines", "num_classes")
 
 #: Modules whose import populates the registry (every module that applies
 #: the decorator).  Imported lazily on first lookup so that importing
@@ -84,6 +90,14 @@ class AlgorithmSpec:
     tags:
         Free-form labels; ``"exact"`` is excluded from capability lookup
         by default.
+    cost_features:
+        Names of integer ``Instance`` properties that drive this
+        algorithm's runtime, consumed by
+        :class:`repro.store.cost_model.CostModel` as the regressors of the
+        fitted log-linear cost predictor.  Declare
+        ``("num_jobs", "num_machines", "num_classes")`` for solvers whose
+        cost scales with the class count (the MILP, the class-structured
+        special cases); the default covers the ``n``/``m``-driven rest.
     description:
         One-line summary (defaults to the function's first docstring line).
     """
@@ -94,6 +108,7 @@ class AlgorithmSpec:
     requires: Tuple[str, ...] = ()
     guarantee: GuaranteeLike = None
     tags: FrozenSet[str] = frozenset()
+    cost_features: Tuple[str, ...] = ("num_jobs", "num_machines")
     description: str = ""
 
     def supports(self, instance: Instance) -> bool:
@@ -141,6 +156,7 @@ def register_algorithm(
     requires: Iterable[str] = (),
     guarantee: GuaranteeLike = None,
     tags: Iterable[str] = (),
+    cost_features: Iterable[str] = ("num_jobs", "num_machines"),
     description: str = "",
 ) -> Callable[[Callable[..., AlgorithmResult]], Callable[..., AlgorithmResult]]:
     """Class/function decorator registering an algorithm under ``name``.
@@ -154,6 +170,12 @@ def register_algorithm(
     for predicate in requires_tuple:
         if not callable(getattr(Instance, predicate, None)):
             raise ValueError(f"requires names an unknown Instance predicate {predicate!r}")
+    features_tuple = tuple(cost_features)
+    for feature in features_tuple:
+        if feature not in COST_FEATURE_CHOICES:
+            raise ValueError(
+                f"cost_features names {feature!r}; the store records only "
+                f"{COST_FEATURE_CHOICES} as cost-model regressors")
 
     def decorator(func: Callable[..., AlgorithmResult]) -> Callable[..., AlgorithmResult]:
         if name in _REGISTRY:
@@ -166,6 +188,7 @@ def register_algorithm(
             requires=requires_tuple,
             guarantee=guarantee,
             tags=frozenset(tags),
+            cost_features=features_tuple,
             description=description or (doc[0] if doc else ""),
         )
         _REGISTRY[name] = spec

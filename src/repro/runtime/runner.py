@@ -11,6 +11,21 @@ and the portfolio mode:
   fingerprint of the instance *content* (not its name), the algorithm name
   and its keyword arguments; re-running the same work returns the identical
   :class:`~repro.algorithms.base.AlgorithmResult` object;
+* **streaming delivery** — :meth:`BatchRunner.run_iter` yields results as
+  chunks complete instead of waiting on a batch barrier, so a serving loop
+  can forward each schedule the moment it exists; :meth:`BatchRunner.run`
+  and :meth:`BatchRunner.run_tasks` are thin collecting wrappers over it;
+* **persistent result store** — with ``store=`` set, every successful
+  result is also written to an on-disk
+  :class:`~repro.store.result_store.ResultStore`; warm keys are
+  bulk-prefetched and *streamed immediately*, before any pool work starts,
+  and survive process restarts (unlike the in-memory cache);
+* **cost-model-driven scheduling** — when the store has recorded wall
+  times, a fitted :class:`~repro.store.cost_model.CostModel` orders
+  cold tasks by descending predicted cost before chunking (cutting pool
+  idle time under heavy MILP/PTAS tasks) and lets
+  :meth:`BatchRunner.portfolio` skip solvers predicted to blow a
+  ``budget_s`` latency budget;
 * **timeout / error capture** — a failing or timed-out task never takes the
   batch down; it yields a sentinel result with ``makespan = inf`` and the
   failure recorded in ``result.meta`` (``"error"`` / ``"timeout"`` keys);
@@ -28,8 +43,10 @@ import time
 import traceback
 import weakref
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
@@ -37,6 +54,7 @@ from repro.algorithms.base import AlgorithmResult
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
 from repro.runtime.registry import algorithms_for, get_algorithm
+from repro.store import CostModel, ResultStore
 
 __all__ = ["BatchTask", "BatchResult", "BatchRunner", "instance_fingerprint",
            "usable_cpus"]
@@ -237,7 +255,23 @@ class BatchRunner:
         Enable the content-hash result cache.  A cache hit returns the
         *identical* ``AlgorithmResult`` object that the first run produced
         (so ``meta["instance"]`` keeps the first-seen instance name; treat
-        results as immutable).
+        results as immutable).  ``cache=False`` also disables the
+        persistent store (benchmarks rely on it to measure fresh compute).
+    store:
+        Optional persistent result store: a
+        :class:`~repro.store.result_store.ResultStore`, or a path that one
+        is opened at.  Successful results are written through to it, and
+        warm keys are served from it (streamed first by
+        :meth:`run_iter`) across process restarts.  Failure sentinels are
+        never persisted.
+    cost_model:
+        ``"auto"`` (default) lazily fits a
+        :class:`~repro.store.cost_model.CostModel` from the store's
+        recorded wall times on first use (no-op without a store or with an
+        empty one); pass an explicit model, or ``None`` to disable
+        cost-based ordering and budgeting.  The lazy fit happens once per
+        runner; call :meth:`refit_cost_model` to absorb newly recorded
+        runs.
     chunk_size:
         Tasks per pool submission; ``None`` picks ``ceil(len/4·workers)``
         capped at 16.  Not used when ``timeout`` is set (wave dispatch is
@@ -255,6 +289,8 @@ class BatchRunner:
         use_processes: Optional[bool] = None,
         timeout: Optional[float] = None,
         cache: bool = True,
+        store: Union[None, str, Path, ResultStore] = None,
+        cost_model: Union[None, str, CostModel] = "auto",
         chunk_size: Optional[int] = None,
         mp_context: Optional[multiprocessing.context.BaseContext] = None,
     ) -> None:
@@ -266,11 +302,19 @@ class BatchRunner:
         self.timeout = timeout
         self.cache_enabled = cache
         self.chunk_size = chunk_size
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store)
+        self.store: Optional[ResultStore] = store
+        self._cost_model: Union[None, str, CostModel] = cost_model
+        #: Whether the cost model is runner-managed ("auto") as opposed to
+        #: caller-provided/disabled; attach_store may only re-arm the former.
+        self._cost_model_auto = isinstance(cost_model, str)
         if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
             mp_context = multiprocessing.get_context("fork")
         self._mp_context = mp_context
         self._cache: Dict[str, AlgorithmResult] = {}
         self.stats: Dict[str, int] = {"tasks": 0, "cache_hits": 0,
+                                      "store_hits": 0, "store_puts": 0,
                                       "errors": 0, "timeouts": 0}
 
     # ------------------------------------------------------------------
@@ -299,39 +343,141 @@ class BatchRunner:
         return self.run_tasks(tasks)
 
     def run_tasks(self, tasks: Sequence[BatchTask]) -> BatchResult:
-        """Execute an explicit task list; results align with task order."""
+        """Execute an explicit task list; results align with task order.
+
+        A thin barrier over :meth:`run_iter`: it drains the stream into a
+        list.  Callers that can act on partial results should iterate
+        :meth:`run_iter` directly.
+        """
+        tasks = list(tasks)
         start = time.perf_counter()
         results: List[Optional[AlgorithmResult]] = [None] * len(tasks)
+        for idx, result in self.run_iter(tasks):
+            results[idx] = result
+        wall = time.perf_counter() - start
+        return BatchResult(tasks=tasks, results=list(results), wall_seconds=wall)
 
-        pending: List[int] = []
+    def run_iter(self, tasks: Sequence[BatchTask]
+                 ) -> Iterator[Tuple[int, AlgorithmResult]]:
+        """Stream ``(task_index, result)`` pairs as they become available.
+
+        Delivery order (not submission order):
+
+        1. in-memory cache hits — immediately, in task order;
+        2. persistent-store hits — after one bulk prefetch, in task order,
+           still before any pool work starts (a warm re-run never forks a
+           worker);
+        3. fresh results — as their chunk completes on the pool (or one by
+           one in in-process mode), with cold tasks dispatched in
+           descending predicted-cost order when a cost model is available.
+
+        Every yielded pair carries the index into ``tasks``, so a consumer
+        needing alignment can scatter into a list (that is exactly what
+        :meth:`run_tasks` does).  Successful fresh results are written to
+        the in-memory cache and, when configured, the persistent store
+        before being yielded.
+        """
+        tasks = list(tasks)
         keys: List[Optional[str]] = [None] * len(tasks)
+        pending: List[int] = []
+        cold: List[int] = []
         for idx, task in enumerate(tasks):
             self.stats["tasks"] += 1
-            if self.cache_enabled:
-                key = task.cache_key()
-                keys[idx] = key
-                hit = self._cache.get(key)
-                if hit is not None:
-                    self.stats["cache_hits"] += 1
-                    results[idx] = hit
-                    continue
-            pending.append(idx)
-
-        if pending:
-            if self.use_processes:
-                fresh = self._execute_pool([tasks[i] for i in pending])
-                fresh = self._retry_collateral([tasks[i] for i in pending], fresh)
+            if not self.cache_enabled:
+                pending.append(idx)
+                continue
+            key = task.cache_key()
+            keys[idx] = key
+            hit = self._cache.get(key)
+            if hit is not None:
+                self.stats["cache_hits"] += 1
+                yield idx, hit
             else:
-                fresh = self._execute_serial([tasks[i] for i in pending])
-            for idx, result in zip(pending, fresh):
-                results[idx] = result
-                key = keys[idx]
-                ok = not (result.meta.get("error") or result.meta.get("timeout"))
-                if self.cache_enabled and key is not None and ok:
-                    self._cache[key] = result
+                cold.append(idx)
 
-        wall = time.perf_counter() - start
-        return BatchResult(tasks=list(tasks), results=list(results), wall_seconds=wall)
+        if self.store is not None and cold:
+            warm = self.store.prefetch([tasks[i] for i in cold])
+            for idx in cold:
+                hit = warm.get(keys[idx])
+                if hit is not None:
+                    self._cache[keys[idx]] = hit
+                    self.stats["store_hits"] += 1
+                    yield idx, hit
+                else:
+                    pending.append(idx)
+        else:
+            pending.extend(cold)
+
+        if not pending:
+            return
+        ordered = self._order_by_cost(tasks, pending)
+        ordered_tasks = [tasks[i] for i in ordered]
+        stream = (self._iter_pool(ordered_tasks) if self.use_processes
+                  else self._iter_serial(ordered_tasks))
+        for local_idx, result in stream:
+            idx = ordered[local_idx]
+            ok = not (result.meta.get("error") or result.meta.get("timeout"))
+            if ok and self.cache_enabled and keys[idx] is not None:
+                self._cache[keys[idx]] = result
+                if self.store is not None:
+                    self.store.put(tasks[idx], result)
+                    self.stats["store_puts"] += 1
+            yield idx, result
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def cost_model(self) -> Optional[CostModel]:
+        """The runner's cost model, fitting it lazily in ``"auto"`` mode.
+
+        Returns ``None`` when disabled, or when auto-fitting finds no
+        recorded runs to learn from (e.g. a cold store on first use).
+        """
+        if isinstance(self._cost_model, str):  # "auto" sentinel
+            self._cost_model = None
+            if self.store is not None and len(self.store) > 0:
+                self._cost_model = CostModel.fit_from_store(self.store)
+        return self._cost_model
+
+    def refit_cost_model(self) -> Optional[CostModel]:
+        """Refit the cost model from the store's current records.
+
+        Switches the runner to store-fitted (``"auto"``) mode, including a
+        runner constructed with an explicit ``cost_model=`` — calling this
+        is the caller's opt-in to store-fitted predictions.
+        """
+        self._cost_model = "auto" if self.store is not None else None
+        self._cost_model_auto = True
+        return self.cost_model()
+
+    def attach_store(self, store: Union[str, Path, ResultStore]) -> None:
+        """Attach a persistent store to a runner created without one.
+
+        No-op when a store is already attached (the first store wins; a
+        singleton runner must not silently switch files mid-flight).  An
+        ``"auto"`` cost model that already resolved to ``None`` for lack of
+        a store is re-armed, so the newly attached records can feed it.
+        """
+        if self.store is not None:
+            return
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store)
+        self.store = store
+        if self._cost_model_auto:
+            self._cost_model = "auto"
+
+    def _order_by_cost(self, tasks: Sequence[BatchTask],
+                       pending: List[int]) -> List[int]:
+        """Order cold task indices by the cost model's dispatch policy
+        (descending predicted cost; see :meth:`CostModel.order_indices`).
+        Model-less runs keep submission order."""
+        if len(pending) <= 1:
+            return pending
+        model = self.cost_model()
+        if model is None:
+            return pending
+        order = model.order_indices([tasks[i] for i in pending])
+        return [pending[j] for j in order]
 
     def run_one(self, algorithm: str, instance: Instance,
                 **kwargs: object) -> AlgorithmResult:
@@ -344,6 +490,7 @@ class BatchRunner:
         algorithms: Optional[Sequence[str]] = None,
         *,
         kwargs: Optional[Dict[str, Dict[str, object]]] = None,
+        budget_s: Optional[float] = None,
     ) -> List[AlgorithmResult]:
         """Best schedule per instance across a set of algorithms.
 
@@ -358,15 +505,38 @@ class BatchRunner:
         ``meta.get("error") / meta.get("timeout")`` before serving a
         schedule.  Ties on makespan break by algorithm name, so the
         outcome is deterministic regardless of worker scheduling.
+
+        ``budget_s`` is a per-task latency budget: candidates whose
+        :meth:`cost_model` prediction exceeds it are skipped without
+        running, and each returned result carries the skipped names in
+        ``meta["skipped_by_cost_model"]``.  Unknown-cost candidates are
+        never skipped, and if *every* candidate is predicted over budget
+        the cheapest-predicted one still runs (the portfolio always
+        serves a schedule).  Without a fitted cost model the budget is a
+        no-op.
         """
+        model = self.cost_model() if budget_s is not None else None
         tasks: List[BatchTask] = []
-        spans: List[Tuple[int, int]] = []
+        spans: List[Tuple[int, int, Tuple[str, ...]]] = []
         for instance in instances:
             names = (sorted(algorithms) if algorithms is not None
                      else [spec.name for spec in algorithms_for(instance)])
             if not names:
                 raise ValueError(
                     f"no registered algorithm supports instance {instance.name!r}")
+            skipped: List[str] = []
+            if model is not None:
+                predictions = {name: model.predict(name, instance) for name in names}
+                kept = [name for name in names
+                        if predictions[name] is None or predictions[name] <= budget_s]
+                skipped = [name for name in names if name not in kept]
+                if not kept:
+                    # Nothing fits the budget: degrade gracefully by running
+                    # the cheapest-predicted candidate instead of nothing.
+                    cheapest = min(skipped, key=lambda n: predictions[n])
+                    skipped.remove(cheapest)
+                    kept = [cheapest]
+                names = kept
             lo = len(tasks)
             for name in names:
                 task_kwargs = dict((kwargs or {}).get(name) or {})
@@ -376,16 +546,22 @@ class BatchRunner:
                     # calls stay reproducible (and cache-coherent).
                     task_kwargs["seed"] = int(instance_fingerprint(instance)[:8], 16)
                 tasks.append(BatchTask.make(name, instance, task_kwargs))
-            spans.append((lo, len(tasks)))
+            spans.append((lo, len(tasks), tuple(skipped)))
         batch = self.run_tasks(tasks)
 
         best: List[AlgorithmResult] = []
-        for lo, hi in spans:
+        for lo, hi, skipped in spans:
             candidates = [r for r in batch.results[lo:hi]
                           if not (r.meta.get("error") or r.meta.get("timeout"))]
             if not candidates:
                 candidates = batch.results[lo:hi]
-            best.append(min(candidates, key=lambda r: (r.makespan, r.name)))
+            winner = min(candidates, key=lambda r: (r.makespan, r.name))
+            if budget_s is not None:
+                # Annotate a *copy*: cached results are shared objects and
+                # must not accumulate call-specific metadata.
+                winner = replace(winner, meta={**winner.meta,
+                                               "skipped_by_cost_model": list(skipped)})
+            best.append(winner)
         return best
 
     def map(self, func: Callable, items: Sequence[object]) -> List[object]:
@@ -409,7 +585,7 @@ class BatchRunner:
         return [value for part in parts for value in part]
 
     def clear_cache(self) -> None:
-        """Drop every cached result."""
+        """Drop every in-memory cached result (the persistent store is kept)."""
         self._cache.clear()
 
     # ------------------------------------------------------------------
@@ -450,9 +626,10 @@ class BatchRunner:
         spread = max(1, -(-num_tasks // (4 * self.max_workers)))
         return min(16, spread)
 
-    def _execute_serial(self, tasks: Sequence[BatchTask]) -> List[AlgorithmResult]:
-        out: List[AlgorithmResult] = []
-        for task in tasks:
+    def _iter_serial(self, tasks: Sequence[BatchTask]
+                     ) -> Iterator[Tuple[int, AlgorithmResult]]:
+        """In-process execution, yielding each result as it finishes."""
+        for local_idx, task in enumerate(tasks):
             t0 = time.perf_counter()
             status, payload = _run_one(task.algorithm, task.instance, task.kwargs_dict())
             elapsed = time.perf_counter() - t0
@@ -461,12 +638,84 @@ class BatchRunner:
                     and not result.meta.get("error")):
                 result = self._sentinel(task, timeout=True)
                 self.stats["timeouts"] += 1
-            out.append(result)
-        return out
+            yield local_idx, result
+
+    def _iter_pool(self, tasks: Sequence[BatchTask]
+                   ) -> Iterator[Tuple[int, AlgorithmResult]]:
+        """Pool execution, yielding each chunk's results as it completes.
+
+        Chunks finish in arbitrary order; the yielded local indices keep
+        the caller aligned.  Tasks whose future *raised* (their worker
+        died, breaking the pool) are withheld from the stream, then
+        recovered at the end through the collateral-retry path on fresh
+        pools, so a streaming consumer still sees exactly one result per
+        task.
+        """
+        if self.timeout is not None:
+            wave_casualties: List[Tuple[int, AlgorithmResult]] = []
+            for local_idx, result in self._iter_pool_waves(tasks):
+                if "worker died" in str(result.meta.get("error", "")):
+                    wave_casualties.append((local_idx, result))
+                else:
+                    yield local_idx, result
+            if wave_casualties:
+                wave_casualties.sort(key=lambda pair: pair[0])
+                retry_tasks = [tasks[i] for i, _ in wave_casualties]
+                recovered = self._retry_collateral(
+                    retry_tasks, [r for _, r in wave_casualties])
+                for (local_idx, _), result in zip(wave_casualties, recovered):
+                    yield local_idx, result
+            return
+        chunk = self._resolve_chunk_size(len(tasks))
+        chunk_indices = [list(range(lo, min(lo + chunk, len(tasks))))
+                         for lo in range(0, len(tasks), chunk)]
+        casualties: List[Tuple[int, str]] = []
+        pool = ProcessPoolExecutor(max_workers=self.max_workers,
+                                   mp_context=self._mp_context)
+        try:
+            future_to_indices = {}
+            for indices in chunk_indices:
+                payload = [(tasks[i].algorithm, tasks[i].instance,
+                            tasks[i].kwargs_dict()) for i in indices]
+                future_to_indices[pool.submit(_run_chunk, payload)] = indices
+            waiting = set(future_to_indices)
+            while waiting:
+                done, waiting = wait(waiting, return_when=FIRST_COMPLETED)
+                for future in done:
+                    indices = future_to_indices[future]
+                    try:
+                        outcomes = future.result()
+                    except Exception as exc:  # worker died (OOM kill, segfault, …)
+                        message = f"worker died: {type(exc).__name__}: {exc}"
+                        casualties.extend((i, message) for i in indices)
+                        continue
+                    for local_idx, (status, outcome) in zip(indices, outcomes):
+                        yield local_idx, self._finalise(tasks[local_idx], status,
+                                                        outcome)
+        finally:
+            # A consumer that closes the stream early (break / .close())
+            # lands here with chunks still in flight; a plain barrier-style
+            # shutdown would block for the whole remaining batch.  Cancel
+            # what never started and terminate what did — abandoning the
+            # work is the point of breaking out.
+            pool.shutdown(wait=False, cancel_futures=True)
+            _terminate_workers(pool)
+        if casualties:
+            casualties.sort()
+            retry_tasks = [tasks[i] for i, _ in casualties]
+            placeholders = []
+            for task, (_, message) in zip(retry_tasks, casualties):
+                self.stats["errors"] += 1
+                placeholders.append(self._sentinel(task, error=message))
+            recovered = self._retry_collateral(retry_tasks, placeholders)
+            for (local_idx, _), result in zip(casualties, recovered):
+                yield local_idx, result
 
     def _execute_pool(self, tasks: Sequence[BatchTask]) -> List[AlgorithmResult]:
+        """Collect one pool pass in submission order (collateral-retry path)."""
         if self.timeout is not None:
-            return self._execute_pool_waves(tasks)
+            collected = sorted(self._iter_pool_waves(tasks), key=lambda pair: pair[0])
+            return [result for _, result in collected]
         chunk = self._resolve_chunk_size(len(tasks))
         payloads = [[(t.algorithm, t.instance, t.kwargs_dict())
                      for t in tasks[i:i + chunk]]
@@ -485,17 +734,18 @@ class BatchRunner:
                     results.append(self._finalise(tasks[len(results)], status, outcome))
         return results
 
-    def _execute_pool_waves(self, tasks: Sequence[BatchTask]) -> List[AlgorithmResult]:
+    def _iter_pool_waves(self, tasks: Sequence[BatchTask]
+                         ) -> Iterator[Tuple[int, AlgorithmResult]]:
         """Timeout mode: waves of ``max_workers`` single-task futures.
 
         Every task in a wave starts on a worker immediately, so its budget
         is a true per-task wall-clock budget — a queued task never burns its
         budget waiting behind a stuck sibling, and an early completion never
-        extends the deadline of the others.  Workers of timed-out tasks are
-        terminated (they cannot be cancelled) and a fresh pool serves the
-        next wave.
+        extends the deadline of the others.  Results are yielded the moment
+        their future completes (timeout sentinels at wave end); workers of
+        timed-out tasks are terminated (they cannot be cancelled) and a
+        fresh pool serves the next wave.
         """
-        results: List[Optional[AlgorithmResult]] = [None] * len(tasks)
         cursor = 0
         pool = ProcessPoolExecutor(max_workers=self.max_workers,
                                    mp_context=self._mp_context)
@@ -526,20 +776,22 @@ class BatchRunner:
                             status = "error"
                             outcome = (f"worker died: {type(exc).__name__}: {exc}",
                                        None)
-                        results[idx] = self._finalise(tasks[idx], status, outcome)
+                        yield idx, self._finalise(tasks[idx], status, outcome)
                 if pending:  # deadline passed with tasks still running
                     for future in pending:
                         idx = future_to_index[future]
-                        results[idx] = self._sentinel(tasks[idx], timeout=True)
                         self.stats["timeouts"] += 1
+                        yield idx, self._sentinel(tasks[idx], timeout=True)
                 if pending or pool_broken:  # pool is stuck or broken: replace it
                     pool.shutdown(wait=False, cancel_futures=True)
                     _terminate_workers(pool)
                     pool = ProcessPoolExecutor(max_workers=self.max_workers,
                                                mp_context=self._mp_context)
         finally:
+            # Also reached when the consumer closes the stream mid-wave;
+            # terminate so an abandoned wave cannot leak running workers.
             pool.shutdown(wait=False, cancel_futures=True)
-        return results  # type: ignore[return-value]
+            _terminate_workers(pool)
 
     # ------------------------------------------------------------------
     # result shaping

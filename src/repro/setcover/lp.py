@@ -48,6 +48,6 @@ def ilp_cover_value(instance: SetCoverInstance, *, time_limit: float | None = 30
         return 0
     model, x = _build_cover_model(instance, integral=True)
     sol = model.solve(as_mip=True, time_limit=time_limit)
-    if sol.status is not SolutionStatus.OPTIMAL:
+    if not sol.has_solution:
         raise RuntimeError(f"SetCover ILP failed: {sol.message}")
     return int(round(sol.objective))

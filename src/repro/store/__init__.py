@@ -1,0 +1,42 @@
+"""Persistent result store and cost model for the batch runtime.
+
+This package is the durability and prediction layer under
+:mod:`repro.runtime`:
+
+* :class:`ResultStore` — a content-addressed, on-disk cache of
+  :class:`~repro.algorithms.base.AlgorithmResult` objects (single SQLite
+  file, WAL mode) keyed by ``BatchTask.cache_key()``, with bulk prefetch,
+  LRU-style eviction, and a self-healing open path.  Plugged into
+  ``BatchRunner(store=...)`` it makes the content-hash cache survive
+  process restarts: a re-run of yesterday's sweep streams from disk.
+* :class:`CostModel` — log-linear per-algorithm runtime predictors fitted
+  from the wall times the store has recorded, used for descending-cost
+  task ordering and for ``portfolio(..., budget_s=...)`` latency budgets.
+* ``python -m repro.store stats|vacuum|export`` — offline inspection of a
+  store file without touching any payload.
+
+Quickstart
+----------
+>>> from repro.generators import uniform_instance
+>>> from repro.runtime import BatchRunner
+>>> instances = [uniform_instance(30, 3, 4, seed=s) for s in range(4)]
+>>> import tempfile, pathlib
+>>> path = pathlib.Path(tempfile.mkdtemp()) / "results.sqlite"
+>>> cold = BatchRunner(store=path)             # computes, persists
+>>> _ = cold.run(["lpt-with-setups"], instances)
+>>> warm = BatchRunner(store=path)             # fresh runner, warm disk
+>>> batch = warm.run(["lpt-with-setups"], instances)
+>>> warm.stats["store_hits"]
+4
+"""
+
+from repro.store.cost_model import DEFAULT_COST_FEATURES, CostModel
+from repro.store.result_store import SCHEMA_VERSION, ResultStore, StoreRecord
+
+__all__ = [
+    "ResultStore",
+    "StoreRecord",
+    "CostModel",
+    "DEFAULT_COST_FEATURES",
+    "SCHEMA_VERSION",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.store``."""
+
+import sys
+
+from repro.store.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

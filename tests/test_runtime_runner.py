@@ -293,6 +293,135 @@ class TestPortfolio:
         assert np.isfinite(best[0].makespan)
 
 
+class TestStreaming:
+    def test_run_iter_matches_run_tasks(self):
+        instances = [uniform_instance(15, 3, 3, seed=s, integral=True)
+                     for s in range(4)]
+        tasks = [BatchTask.make(name, inst)
+                 for inst in instances for name in FAST_GRID]
+        runner = BatchRunner(max_workers=1, cache=False)
+        streamed: dict = {}
+        for idx, result in runner.run_iter(tasks):
+            assert idx not in streamed, "run_iter yielded an index twice"
+            streamed[idx] = result
+        assert sorted(streamed) == list(range(len(tasks)))
+        reference = BatchRunner(max_workers=1, cache=False).run_tasks(tasks)
+        assert [streamed[i].makespan for i in range(len(tasks))] == \
+            [r.makespan for r in reference.results]
+
+    def test_run_iter_yields_warm_results_first(self, sleeper_algorithm):
+        """Cache hits stream out before any cold task is executed."""
+        inst_warm = uniform_instance(12, 3, 3, seed=0, integral=True)
+        inst_cold = uniform_instance(12, 3, 3, seed=1, integral=True)
+        runner = BatchRunner(max_workers=1)
+        runner.run_one("class-aware-greedy", inst_warm)  # prime the cache
+        tasks = [BatchTask.make(sleeper_algorithm, inst_cold, {"delay": 0.3}),
+                 BatchTask.make("class-aware-greedy", inst_warm)]
+        order = [idx for idx, _ in runner.run_iter(tasks)]
+        assert order == [1, 0]  # warm second task first, cold sleeper last
+
+    def test_run_iter_store_hits_stream_before_pool_work(self, tmp_path,
+                                                         sleeper_algorithm):
+        """A fresh runner streams store-warm keys before its cold tasks."""
+        store_path = tmp_path / "stream.sqlite"
+        inst_warm = uniform_instance(12, 3, 3, seed=0, integral=True)
+        inst_cold = uniform_instance(12, 3, 3, seed=1, integral=True)
+        BatchRunner(max_workers=1, store=store_path).run_one(
+            "class-aware-greedy", inst_warm)
+        fresh = BatchRunner(max_workers=1, store=store_path)
+        tasks = [BatchTask.make(sleeper_algorithm, inst_cold, {"delay": 0.3}),
+                 BatchTask.make("class-aware-greedy", inst_warm)]
+        t0 = time.perf_counter()
+        first_idx, _ = next(fresh.run_iter(tasks))
+        first_latency = time.perf_counter() - t0
+        assert first_idx == 1  # the store-warm task
+        assert fresh.stats["store_hits"] == 1
+        assert first_latency < 0.25  # long before the 0.3s sleeper could finish
+
+    def test_run_iter_streams_errors_as_sentinels(self, failing_algorithm):
+        inst = uniform_instance(12, 3, 3, seed=2, integral=True)
+        runner = BatchRunner(max_workers=1)
+        pairs = list(runner.run_iter([
+            BatchTask.make(failing_algorithm, inst),
+            BatchTask.make("class-aware-greedy", inst),
+        ]))
+        assert len(pairs) == 2
+        by_idx = dict(pairs)
+        assert "synthetic failure" in str(by_idx[0].meta["error"])
+        assert np.isfinite(by_idx[1].makespan)
+
+    def test_run_iter_pool_mode_yields_every_task(self):
+        instances = [uniform_instance(12, 3, 3, seed=s, integral=True)
+                     for s in range(5)]
+        tasks = [BatchTask.make("class-aware-greedy", inst) for inst in instances]
+        runner = BatchRunner(max_workers=2, use_processes=True, cache=False,
+                             chunk_size=2)
+        pairs = list(runner.run_iter(tasks))
+        assert sorted(idx for idx, _ in pairs) == list(range(5))
+        assert all(np.isfinite(r.makespan) for _, r in pairs)
+
+    def test_run_iter_pool_worker_death_still_yields_all(self, dying_algorithm):
+        instances = [uniform_instance(12, 3, 3, seed=s, integral=True)
+                     for s in range(3)]
+        tasks = [BatchTask.make(name, inst)
+                 for inst in instances
+                 for name in (dying_algorithm, "class-aware-greedy")]
+        runner = BatchRunner(max_workers=2, use_processes=True, cache=False,
+                             chunk_size=1)
+        pairs = dict(runner.run_iter(tasks))
+        assert sorted(pairs) == list(range(len(tasks)))
+        for idx, task in enumerate(tasks):
+            if task.algorithm == dying_algorithm:
+                assert "worker died" in str(pairs[idx].meta.get("error"))
+            else:
+                assert np.isfinite(pairs[idx].makespan)
+
+    def test_early_close_does_not_block_on_remaining_batch(self,
+                                                           sleeper_algorithm):
+        """Breaking out of run_iter abandons in-flight pool work promptly."""
+        inst_fast = uniform_instance(12, 3, 3, seed=0, integral=True)
+        inst_slow = uniform_instance(12, 3, 3, seed=1, integral=True)
+        runner = BatchRunner(max_workers=1, use_processes=True, cache=False,
+                             chunk_size=1)
+        tasks = [BatchTask.make("class-aware-greedy", inst_fast),
+                 BatchTask.make(sleeper_algorithm, inst_slow, {"delay": 5.0})]
+        t0 = time.perf_counter()
+        for _idx, result in runner.run_iter(tasks):
+            assert np.isfinite(result.makespan)
+            break  # abandon the 5s sleeper
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 3.0, f"early break blocked for {elapsed:.1f}s"
+
+    def test_attach_store_rearms_auto_cost_model(self, tmp_path):
+        store_path = tmp_path / "attach.sqlite"
+        seed_task = BatchTask.make(
+            "class-aware-greedy",
+            uniform_instance(15, 3, 3, seed=1, integral=True))
+        from repro.algorithms.base import AlgorithmResult as _AR
+        from repro.core.bounds import greedy_upper_bound as _gub
+        from repro.store import ResultStore
+        _, schedule = _gub(seed_task.instance)
+        with ResultStore(store_path) as store:
+            store.put(seed_task, _AR.from_schedule("class-aware-greedy", schedule,
+                                                   runtime=0.2))
+        runner = BatchRunner(max_workers=1)
+        assert runner.cost_model() is None  # auto resolves to None: no store
+        runner.attach_store(store_path)
+        model = runner.cost_model()  # re-armed by the attach
+        assert model is not None
+        assert model.known_algorithms() == ["class-aware-greedy"]
+
+    def test_failed_results_never_reach_the_store(self, tmp_path,
+                                                  failing_algorithm):
+        store_path = tmp_path / "nofail.sqlite"
+        runner = BatchRunner(max_workers=1, store=store_path)
+        inst = uniform_instance(12, 3, 3, seed=3, integral=True)
+        runner.run_one(failing_algorithm, inst)
+        runner.run_one("class-aware-greedy", inst)
+        assert len(runner.store) == 1
+        assert runner.stats["store_puts"] == 1
+
+
 class TestRegistrySurface:
     def test_spec_name_matches_result_name(self):
         inst = uniform_instance(12, 3, 3, seed=3, integral=True)

@@ -1,0 +1,359 @@
+"""The persistent result store: durability, eviction, self-healing, CLI.
+
+The durability tests are the contract that matters: results written by one
+``BatchRunner`` must be cache hits in a *fresh process* (that is the whole
+point of the store), a corrupted or old-schema file must be rebuilt rather
+than crash the runner, and the eviction policy must actually bound the
+file.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.algorithms.base import AlgorithmResult
+from repro.core.bounds import greedy_upper_bound
+from repro.generators import uniform_instance
+from repro.runtime import BatchRunner, BatchTask
+from repro.store import SCHEMA_VERSION, CostModel, ResultStore
+from repro.store.cli import main as store_cli
+
+
+def _task(seed: int = 0, algorithm: str = "class-aware-greedy",
+          n: int = 15) -> BatchTask:
+    return BatchTask.make(algorithm, uniform_instance(n, 3, 3, seed=seed,
+                                                      integral=True))
+
+
+def _result_for(task: BatchTask, runtime: float = 0.01) -> AlgorithmResult:
+    _, schedule = greedy_upper_bound(task.instance)
+    return AlgorithmResult.from_schedule(task.algorithm, schedule,
+                                         runtime=runtime)
+
+
+class TestStoreBasics:
+    def test_put_get_roundtrip(self, tmp_path):
+        task = _task()
+        result = _result_for(task)
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            assert store.get(task) is None
+            assert not store.contains(task)
+            store.put(task, result)
+            assert store.contains(task)
+            fetched = store.get(task)
+        assert fetched is not None
+        assert fetched.makespan == result.makespan
+        assert fetched.name == result.name
+
+    def test_prefetch_returns_warm_subset(self, tmp_path):
+        tasks = [_task(seed=s) for s in range(4)]
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            for task in tasks[:2]:
+                store.put(task, _result_for(task))
+            warm = store.prefetch(tasks)
+        assert set(warm) == {t.cache_key() for t in tasks[:2]}
+
+    def test_len_stats_and_records(self, tmp_path):
+        tasks = [_task(seed=s) for s in range(3)]
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            for task in tasks:
+                store.put(task, _result_for(task, runtime=0.5))
+            assert len(store) == 3
+            stats = store.stats()
+            assert stats["entries"] == 3
+            assert stats["per_algorithm"]["class-aware-greedy"]["entries"] == 3
+            records = list(store.records())
+            assert len(records) == 3
+            assert all(r.environment == "uniform" for r in records)
+            assert all(r.wall_seconds == 0.5 for r in records)
+            assert all(r.num_jobs == 15 for r in records)
+
+    def test_export_is_json_lines(self, tmp_path):
+        import json
+
+        task = _task()
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            store.put(task, _result_for(task))
+            lines = store.export().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["algorithm"] == "class-aware-greedy"
+        assert payload["n"] == 15
+
+
+class TestDurability:
+    def test_runner_results_survive_process_restart(self, tmp_path):
+        """Results written by one BatchRunner are hits in a fresh process."""
+        store_path = tmp_path / "shared.sqlite"
+        runner = BatchRunner(max_workers=1, store=store_path)
+        instances = [uniform_instance(15, 3, 3, seed=s, integral=True)
+                     for s in range(3)]
+        batch = runner.run(["class-aware-greedy", "lpt-with-setups"], instances)
+        assert not batch.failures()
+        assert runner.stats["store_puts"] == 6
+        makespans = [r.makespan for r in batch.results]
+
+        script = textwrap.dedent("""
+            import sys
+            from repro.generators import uniform_instance
+            from repro.runtime import BatchRunner
+            runner = BatchRunner(max_workers=1, store=sys.argv[1])
+            instances = [uniform_instance(15, 3, 3, seed=s, integral=True)
+                         for s in range(3)]
+            batch = runner.run(["class-aware-greedy", "lpt-with-setups"], instances)
+            assert runner.stats["store_hits"] == 6, runner.stats
+            assert runner.stats["cache_hits"] == 0, runner.stats
+            print(",".join(repr(r.makespan) for r in batch.results))
+        """)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", script, str(store_path)],
+                              capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+        fresh_makespans = [float(eval(v)) for v in proc.stdout.strip().split(",")]
+        assert fresh_makespans == makespans
+
+    def test_corrupted_store_is_rebuilt(self, tmp_path):
+        path = tmp_path / "corrupt.sqlite"
+        path.write_bytes(b"this is definitely not a sqlite database\x00\xff" * 64)
+        store = ResultStore(path)
+        assert len(store) == 0
+        assert store.stats_counters["rebuilds"] == 1
+        task = _task()
+        store.put(task, _result_for(task))
+        assert store.get(task) is not None
+        store.close()
+
+    def test_old_schema_store_is_rebuilt(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        with ResultStore(path) as store:
+            store.put(_task(), _result_for(_task()))
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE store_meta SET value = ? WHERE key = 'schema_version'",
+                     (str(SCHEMA_VERSION + 1),))
+        conn.commit()
+        conn.close()
+        with ResultStore(path) as reopened:
+            assert len(reopened) == 0  # rebuilt empty, not crashed
+            assert reopened.stats_counters["rebuilds"] == 1
+
+    def test_rows_from_another_package_version_are_purged(self, tmp_path):
+        """Cache keys hash inputs, not code: a version bump must invalidate."""
+        path = tmp_path / "versioned.sqlite"
+        task = _task()
+        with ResultStore(path) as store:
+            store.put(task, _result_for(task))
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE results SET repro_version = '0.0.0-older'")
+        conn.commit()
+        conn.close()
+        with ResultStore(path) as reopened:
+            assert reopened.stats_counters["version_purged"] == 1
+            assert not reopened.contains(task)
+
+    def test_unreadable_payload_is_dropped_not_raised(self, tmp_path):
+        path = tmp_path / "stale.sqlite"
+        task = _task()
+        with ResultStore(path) as store:
+            store.put(task, _result_for(task))
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE results SET payload = ?", (b"not a pickle",))
+        conn.commit()
+        conn.close()
+        with ResultStore(path) as store:
+            assert store.get(task) is None
+            assert len(store) == 0  # the stale row was dropped
+
+
+class TestEviction:
+    def test_max_bytes_evicts_least_recently_accessed(self, tmp_path):
+        tasks = [_task(seed=s) for s in range(6)]
+        results = [_result_for(t) for t in tasks]
+        row_bytes = len(pickle.dumps(results[0], pickle.HIGHEST_PROTOCOL))
+        store = ResultStore(tmp_path / "s.sqlite", max_bytes=3 * row_bytes + 10)
+        for task, result in zip(tasks[:3], results[:3]):
+            store.put(task, result)
+        assert len(store) == 3
+        store.get(tasks[0])  # refresh task 0: tasks 1/2 become the LRU rows
+        time.sleep(0.02)
+        store.put(tasks[3], results[3])
+        assert len(store) == 3
+        assert store.contains(tasks[0]) and store.contains(tasks[3])
+        assert not store.contains(tasks[1])  # least recently accessed, evicted
+        # Total payload stays under the cap no matter how many more puts.
+        for task, result in zip(tasks[4:], results[4:]):
+            store.put(task, result)
+        assert store._total_bytes() <= 3 * row_bytes + 10
+        store.close()
+
+    def test_max_age_drops_expired_rows(self, tmp_path):
+        task_old, task_new = _task(seed=0), _task(seed=1)
+        store = ResultStore(tmp_path / "s.sqlite", max_age_s=1000.0)
+        store.put(task_old, _result_for(task_old))
+        # Backdate the first row beyond the age limit, then trigger a sweep.
+        store._conn.execute("UPDATE results SET created_at = created_at - 5000")
+        store._conn.commit()
+        store.put(task_new, _result_for(task_new))
+        assert not store.contains(task_old)
+        assert store.contains(task_new)
+        store.close()
+
+    def test_vacuum_runs(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        store.put(_task(), _result_for(_task()))
+        store.vacuum()
+        assert len(store) == 1
+        store.close()
+
+
+class TestCostModel:
+    def _seeded_store(self, tmp_path, *, sizes=(10, 20, 40, 80), quadratic=False):
+        """A store with synthetic runtimes growing in n (optionally ~n^2)."""
+        store = ResultStore(tmp_path / "cm.sqlite")
+        for n in sizes:
+            task = _task(seed=n, n=n)
+            runtime = (n / 100.0) ** 2 if quadratic else n / 100.0
+            store.put(task, _result_for(task, runtime=runtime))
+        return store
+
+    def test_predictions_grow_with_instance_size(self, tmp_path):
+        store = self._seeded_store(tmp_path, quadratic=True)
+        model = CostModel.fit_from_store(store)
+        small = uniform_instance(12, 3, 3, seed=1, integral=True)
+        large = uniform_instance(200, 3, 3, seed=2, integral=True)
+        p_small = model.predict("class-aware-greedy", small)
+        p_large = model.predict("class-aware-greedy", large)
+        assert p_small is not None and p_large is not None
+        assert p_large > p_small > 0
+        store.close()
+
+    def test_unknown_algorithm_predicts_none(self, tmp_path):
+        store = self._seeded_store(tmp_path)
+        model = CostModel.fit_from_store(store)
+        inst = uniform_instance(12, 3, 3, seed=1, integral=True)
+        assert model.predict("never-recorded", inst) is None
+        assert model.known_algorithms() == ["class-aware-greedy"]
+        store.close()
+
+    def test_few_samples_fall_back_to_mean(self, tmp_path):
+        store = ResultStore(tmp_path / "cm.sqlite")
+        task = _task(seed=1)
+        store.put(task, _result_for(task, runtime=0.25))
+        model = CostModel.fit_from_store(store)
+        predicted = model.predict("class-aware-greedy",
+                                  uniform_instance(50, 4, 4, seed=3, integral=True))
+        assert predicted == pytest.approx(0.25, rel=0.05)
+        store.close()
+
+    def test_order_tasks_descends_by_predicted_cost(self, tmp_path):
+        store = self._seeded_store(tmp_path, quadratic=True)
+        model = CostModel.fit_from_store(store)
+        small, mid, large = (_task(seed=s, n=n)
+                             for s, n in ((1, 10), (2, 50), (3, 150)))
+        unknown = BatchTask.make("ptas-uniform", small.instance, {"epsilon": 0.5})
+        ordered = model.order_tasks([small, mid, unknown, large])
+        # Unknown cost first (could be a giant), then known descending.
+        assert ordered == [unknown, large, mid, small]
+        store.close()
+
+    def test_runner_orders_cold_tasks_by_cost(self, tmp_path):
+        """A warm store makes a fresh runner dispatch heavy tasks first."""
+        store_path = tmp_path / "order.sqlite"
+        sizes = (10, 30, 60, 120)
+        tasks = [_task(seed=n, n=n) for n in sizes]
+        with ResultStore(store_path) as store:
+            for task, n in zip(tasks, sizes):
+                store.put(task, _result_for(task, runtime=(n / 50.0) ** 2))
+        runner = BatchRunner(max_workers=1, store=store_path, cache=False)
+        ordered = runner._order_by_cost(tasks, list(range(len(tasks))))
+        assert ordered == [3, 2, 1, 0]
+
+    def test_portfolio_budget_skips_predicted_blowups(self, tmp_path):
+        """budget_s skips the solver the cost model predicts over budget."""
+        store_path = tmp_path / "budget.sqlite"
+        instances = [uniform_instance(20, 3, 4, seed=s, integral=True)
+                     for s in range(3)]
+        slow_task = [BatchTask.make("ptas-uniform", inst, {"epsilon": 0.25})
+                     for inst in instances]
+        fast_task = [BatchTask.make("class-aware-greedy", inst)
+                     for inst in instances]
+        with ResultStore(store_path) as store:
+            for task in slow_task:
+                store.put(task, _result_for(task, runtime=120.0))  # "2 minutes"
+            for task in fast_task:
+                store.put(task, _result_for(task, runtime=0.001))
+        runner = BatchRunner(max_workers=1, store=store_path)
+        best = runner.portfolio(instances,
+                                algorithms=["ptas-uniform", "class-aware-greedy"],
+                                budget_s=1.0)
+        for result in best:
+            assert result.meta["skipped_by_cost_model"] == ["ptas-uniform"]
+            assert result.name == "class-aware-greedy"
+
+    def test_portfolio_budget_never_serves_nothing(self, tmp_path):
+        """With every candidate over budget, the cheapest still runs."""
+        store_path = tmp_path / "allover.sqlite"
+        instances = [uniform_instance(20, 3, 4, seed=9, integral=True)]
+        with ResultStore(store_path) as store:
+            for name, runtime in (("class-aware-greedy", 50.0),
+                                  ("lpt-with-setups", 80.0)):
+                task = BatchTask.make(name, instances[0])
+                store.put(task, _result_for(task, runtime=runtime))
+        runner = BatchRunner(max_workers=1, store=store_path)
+        best = runner.portfolio(instances,
+                                algorithms=["class-aware-greedy", "lpt-with-setups"],
+                                budget_s=0.001)
+        assert best[0].name == "class-aware-greedy"  # cheapest-predicted ran
+        assert best[0].meta["skipped_by_cost_model"] == ["lpt-with-setups"]
+
+
+class TestStoreCli:
+    def _populated(self, tmp_path):
+        path = tmp_path / "cli.sqlite"
+        with ResultStore(path) as store:
+            for s in range(2):
+                task = _task(seed=s)
+                store.put(task, _result_for(task))
+        return path
+
+    def test_stats_human_and_json(self, tmp_path, capsys):
+        path = self._populated(tmp_path)
+        assert store_cli(["--store", str(path), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:  2" in out
+        assert store_cli(["--store", str(path), "stats", "--json"]) == 0
+        import json
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+
+    def test_vacuum_and_export(self, tmp_path, capsys):
+        path = self._populated(tmp_path)
+        assert store_cli(["--store", str(path), "vacuum"]) == 0
+        out_file = tmp_path / "dump.jsonl"
+        assert store_cli(["--store", str(path), "export",
+                          "--output", str(out_file)]) == 0
+        assert len(out_file.read_text().strip().splitlines()) == 2
+
+    def test_missing_store_path_errors(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        assert store_cli(["stats"]) == 2
+
+    def test_module_entry_point(self, tmp_path):
+        path = self._populated(tmp_path)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.store", "--store", str(path), "stats"],
+            capture_output=True, text=True, env=env)
+        assert proc.returncode == 0, proc.stderr
+        assert "entries:  2" in proc.stdout
