@@ -1,0 +1,46 @@
+"""F4 — distributed SQLite work queue: two subprocess workers vs serial.
+
+Runs one deterministic task grid through the in-process ``SerialBackend``
+and again through the ``queue`` backend with two external
+``python -m repro.runtime.worker`` processes draining one shared store
+file (the submitting runner is a pure coordinator, ``inline=False``).
+
+The acceptance properties of the distributed layer are asserted here:
+
+* the two modes produce **byte-identical** schedules — the result digest
+  (algorithm name, makespan, guarantee, full assignment array; wall times
+  excluded) matches exactly.  The grid is deterministic by construction
+  (no time-limited MILP references), so no incumbent-row exclusions are
+  needed;
+* **store-mediated dedup** held: every cache key was computed exactly
+  once across both workers (``duplicate_computes == 0``), and nothing was
+  computed by the coordinator.
+
+On a 1-CPU container the workers interleave rather than parallelise;
+correctness of the queue protocol, not speedup, is the quantity under
+test (F2 measures dispatch speedup, F3 store reuse).
+"""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_f4_table(benchmark, scale):
+    """The F4 result table: N workers, one store, exactly-once compute."""
+    table = benchmark.pedantic(run_and_print, args=("F4", scale), rounds=1,
+                               iterations=1)
+    rows = {row["mode"]: row for row in table.rows}
+    assert set(rows) == {"serial", "queue"}
+    serial, queue = rows["serial"], rows["queue"]
+
+    # Same grid on both sides, drained entirely by the two workers.
+    assert queue["tasks"] == serial["tasks"] > 0
+    assert queue["workers"] == 2
+
+    # Acceptance: byte-identical results regardless of where they ran.
+    assert queue["digest12"] == serial["digest12"], (
+        "queue-backend results diverged from the serial reference")
+
+    # Acceptance: exactly-once compute across all workers on one store.
+    assert queue["duplicate_computes"] == 0, (
+        f"{queue['duplicate_computes']} cache key(s) were computed twice")
+    assert queue["computed"] == queue["unique_keys"]

@@ -66,30 +66,94 @@ __all__ = [
     "experiment_f1_speed_groups",
     "experiment_f2_batch_throughput",
     "experiment_f3_store_warm_vs_cold",
+    "experiment_f4_queue_workers",
+    "result_digest",
 ]
 
-#: Shared runner: one content-hash cache across all experiments, so e.g. the
-#: LPT baseline measured by E2 for every epsilon is computed exactly once.
-_RUNNER: Optional[BatchRunner] = None
+#: Keyed runner pool: one runner per ``(store file, backend)`` pair, every
+#: runner on the same store file sharing one :class:`ResultStore` handle.
+#: Within a runner, one content-hash cache spans all experiments, so e.g.
+#: the LPT baseline measured by E2 for every epsilon is computed once.
+_RUNNERS: Dict[Tuple[Optional[str], Optional[str]], BatchRunner] = {}
+_SHARED_STORES: Dict[str, "ResultStore"] = {}
+_DEFAULT_RUNNER: Optional[BatchRunner] = None
 
 
-def get_runner(store_path: Union[None, str, Path] = None) -> BatchRunner:
-    """The process-pool runner shared by every experiment sweep.
+def _shared_store(path: str) -> "ResultStore":
+    """One ``ResultStore`` handle per store file, shared by every runner
+    keyed on it (so their put counters — and hence cost-model auto-refits —
+    see each other's writes)."""
+    from repro.store import ResultStore
+
+    store = _SHARED_STORES.get(path)
+    if store is None:
+        store = ResultStore(path)
+        _SHARED_STORES[path] = store
+    return store
+
+
+def get_runner(store_path: Union[None, str, Path] = None,
+               backend: Optional[str] = None) -> BatchRunner:
+    """The shared experiment runner(s): one per ``(store, backend)`` key.
 
     ``store_path`` (or the ``REPRO_RESULT_STORE`` environment variable)
-    attaches a persistent :class:`~repro.store.ResultStore`, so sweep
+    selects a persistent :class:`~repro.store.ResultStore`, so sweep
     results survive process restarts — a re-run of yesterday's experiment
     grid streams from disk instead of recomputing its MILP/PTAS seconds.
-    The runner is a singleton: the store is attached on first need and a
-    later, different path does not replace an already-attached store.
+    ``backend`` (or ``REPRO_BACKEND``) selects the execution backend
+    (``"serial"``, ``"pool"``, ``"queue"``; default auto).
+
+    This used to be a process singleton; it is now a *keyed pool*: each
+    distinct ``(store file, backend)`` pair gets its own runner, so an
+    embedded server can drive independent sweeps per tenant — separate
+    caches and stats, different store files or backends — while runners
+    keyed on the same store file share a single ``ResultStore`` handle
+    (one SQLite connection, one put counter feeding cost-model refits).
+
+    Calls without a ``store_path`` return the *default* runner — the first
+    runner this process created — preserving the historical contract that
+    ``run_experiment(..., store_path=...)`` configures the store once and
+    every experiment's bare ``get_runner()`` then hits it.  A bare first
+    call creates a store-less default; a later ``store_path`` call
+    attaches that store to it (first store wins;
+    :meth:`BatchRunner.attach_store` keeps its no-op-on-conflict
+    semantics, so a singleton-era caller can never silently switch files
+    mid-flight).
     """
-    global _RUNNER
+    global _DEFAULT_RUNNER
     path = store_path if store_path is not None else os.environ.get("REPRO_RESULT_STORE")
-    if _RUNNER is None:
-        _RUNNER = BatchRunner(store=path or None)
-    elif path:
-        _RUNNER.attach_store(path)
-    return _RUNNER
+    backend_name = backend if backend is not None else os.environ.get("REPRO_BACKEND")
+    if not path:
+        runner = _RUNNERS.get((None, backend_name))
+        if runner is not None:
+            return runner
+        if backend_name is None:
+            # A plain bare call: the default runner, whatever its key —
+            # that is the legacy contract the experiments rely on.
+            if _DEFAULT_RUNNER is None:
+                _DEFAULT_RUNNER = BatchRunner()
+                _RUNNERS[(None, None)] = _DEFAULT_RUNNER
+            return _DEFAULT_RUNNER
+        # An explicit backend must be honoured even when a default with a
+        # different backend already exists: key a store-less runner on it.
+        runner = BatchRunner(backend=backend_name)
+        _RUNNERS[(None, backend_name)] = runner
+        if _DEFAULT_RUNNER is None:
+            _DEFAULT_RUNNER = runner
+        return runner
+    norm = str(Path(path))
+    key = (norm, backend_name)
+    runner = _RUNNERS.get(key)
+    if runner is None:
+        runner = BatchRunner(store=_shared_store(norm), backend=backend_name)
+        _RUNNERS[key] = runner
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = runner
+    elif _DEFAULT_RUNNER.store is None:
+        # Legacy singleton flow: a store-less default picks up the first
+        # explicitly configured store (attach_store ignores later ones).
+        _DEFAULT_RUNNER.attach_store(_shared_store(norm))
+    return runner
 
 
 def _limit(iterable, quick: bool, quick_count: int):
@@ -668,6 +732,134 @@ def experiment_f3_store_warm_vs_cold(scale: str = "quick") -> ResultTable:
 
 
 # ---------------------------------------------------------------------------
+# F4 — distributed queue: subprocess workers vs the serial backend
+# ---------------------------------------------------------------------------
+#: The F4 grid: deterministic algorithms only (no MILP incumbents, no
+#: randomness), so the serial and the distributed runs must agree to the
+#: byte — any divergence is a queue-layer bug, not solver noise.
+F4_ALGORITHMS = (("ptas-uniform", {"epsilon": 0.3}),
+                 ("lpt-with-setups", {}),
+                 ("class-aware-greedy", {}))
+
+
+def result_digest(results) -> str:
+    """SHA-256 over the canonical content of a result list.
+
+    Hashes everything a scheduling answer *is* — algorithm name, makespan,
+    guarantee, and the full job-to-machine assignment — and nothing that
+    merely describes how it was produced (wall times, meta diagnostics),
+    so two backends computing the same tasks must collide exactly.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for result in results:
+        h.update(result.name.encode())
+        h.update(repr(result.makespan).encode())
+        h.update(repr(result.guarantee).encode())
+        arr = np.ascontiguousarray(result.schedule.assignment)
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def experiment_f4_queue_workers(scale: str = "quick") -> ResultTable:
+    """Distributed queue backend vs serial: equality and exactly-once compute.
+
+    Runs one deterministic task grid twice:
+
+    * ``serial`` — the in-process :class:`SerialBackend`, the semantic
+      reference;
+    * ``queue`` — tasks enqueued into a fresh store file's ``task_queue``
+      and drained by **two** ``python -m repro.runtime.worker``
+      subprocesses; the submitting runner is a pure coordinator
+      (``inline=False``), so every result was computed by a worker and
+      travelled back through the store.
+
+    The acceptance properties of the distributed layer are measured into
+    the table (and asserted by ``bench_f4_queue_workers``):
+    ``digest(queue) == digest(serial)`` and ``duplicate_computes == 0``
+    (store-mediated dedup: two workers on one file never compute a cache
+    key twice).  On a 1-CPU host the workers interleave instead of
+    parallelising — correctness, not speedup, is the quantity under test.
+    """
+    import shutil
+    import subprocess
+    import sys
+    import tempfile
+
+    from repro.store.task_queue import TaskQueue
+
+    quick = scale == "quick"
+    num_instances = 4 if quick else 12
+    n, m, K = (80, 6, 8) if quick else (200, 12, 16)
+    instances = [uniform_instance(n, m, K, seed=7400 + i, integral=True)
+                 for i in range(num_instances)]
+    tasks = [BatchTask.make(name, inst, kwargs)
+             for inst in instances for name, kwargs in F4_ALGORITHMS]
+
+    table = ResultTable(
+        title="F4: distributed SQLite work queue — two workers vs serial",
+        columns=["mode", "workers", "tasks", "unique_keys", "wall_s",
+                 "computed", "duplicate_computes", "digest12"],
+    )
+
+    serial = BatchRunner(max_workers=1, backend="serial", cache=False)
+    serial_batch = serial.run_tasks(tasks).raise_for_failures()
+    serial_digest = result_digest(serial_batch.results)
+    table.add_row(mode="serial", workers=0, tasks=len(serial_batch),
+                  unique_keys=len({t.cache_key() for t in tasks}),
+                  wall_s=serial_batch.wall_seconds,
+                  computed=len(serial_batch), duplicate_computes=0,
+                  digest12=serial_digest[:12])
+
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-f4-"))
+    store_path = store_dir / "f4_store.sqlite"
+    env = dict(os.environ)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    workers = []
+    try:
+        for i in range(2):
+            workers.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.runtime.worker",
+                 "--store", str(store_path), "--worker-id", f"f4-worker-{i}",
+                 "--idle-exit", "20", "--poll-s", "0.02"],
+                env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL))
+        coordinator = BatchRunner(
+            max_workers=1, store=store_path, backend="queue",
+            backend_options={"inline": False, "poll_s": 0.02,
+                             "stall_timeout_s": 120.0})
+        queue_batch = coordinator.run_tasks(tasks).raise_for_failures()
+        queue_digest = result_digest(queue_batch.results)
+        queue = TaskQueue(store_path)
+        compute_counts = queue.compute_counts(
+            sorted({t.cache_key() for t in tasks}))
+        queue.close()
+        coordinator.store.close()
+        table.add_row(
+            mode="queue", workers=len(workers), tasks=len(queue_batch),
+            unique_keys=len(compute_counts), wall_s=queue_batch.wall_seconds,
+            computed=sum(compute_counts.values()),
+            duplicate_computes=sum(max(0, c - 1)
+                                   for c in compute_counts.values()),
+            digest12=queue_digest[:12])
+    finally:
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+        shutil.rmtree(store_dir, ignore_errors=True)
+    table.add_note("expected shape: identical digest12 for both modes "
+                   "(byte-identical schedules), duplicate_computes = 0 "
+                   "(store-mediated dedup), computed = unique_keys")
+    return table
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 EXPERIMENTS: Dict[str, Callable[[str], ResultTable]] = {
@@ -683,16 +875,17 @@ EXPERIMENTS: Dict[str, Callable[[str], ResultTable]] = {
     "F1": experiment_f1_speed_groups,
     "F2": experiment_f2_batch_throughput,
     "F3": experiment_f3_store_warm_vs_cold,
+    "F4": experiment_f4_queue_workers,
 }
 
 
 def run_experiment(experiment_id: str, scale: str = "quick",
                    store_path: Union[None, str, Path] = None) -> ResultTable:
-    """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``–``"F3"``).
+    """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``–``"F4"``).
 
     ``store_path`` attaches a persistent result store to the shared runner
     (see :func:`get_runner`) so sweep results are reused across processes;
-    F2/F3/E9 manage their own runners and stores by design.
+    F2/F3/F4/E9 manage their own runners and stores by design.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:

@@ -9,8 +9,7 @@ This package turns the loose algorithm functions of
   guarantee.  :func:`algorithms_for` answers "which algorithms can run on
   this instance?" without hard-coding algorithm lists anywhere.
 * :mod:`repro.runtime.runner` — :class:`BatchRunner` executes
-  ``(algorithm × instance)`` grids through a ``concurrent.futures``
-  process pool with chunked dispatch, per-task content-hash result
+  ``(algorithm × instance)`` grids with per-task content-hash result
   caching, timeout/error capture into ``AlgorithmResult.meta``, and a
   :meth:`BatchRunner.portfolio` mode returning the best schedule per
   instance.  With ``store=`` it writes through to a persistent
@@ -20,6 +19,12 @@ This package turns the loose algorithm functions of
   descending-cost order under a fitted
   :class:`repro.store.CostModel`, and ``portfolio(budget_s=...)`` skips
   solvers predicted to blow a latency budget.
+* :mod:`repro.runtime.backends` — where cold tasks actually run is a
+  pluggable :class:`ExecutionBackend` (``backend="serial" | "pool" |
+  "queue"``): in-process, chunked process pool, or a distributed SQLite
+  work queue drained by ``python -m repro.runtime.worker`` processes
+  sharing one store file (leases with expiry, crash requeue with attempt
+  caps, store-mediated exactly-once compute).
 
 Quickstart
 ----------
@@ -41,6 +46,13 @@ harness dispatch through this runtime, so a cache or scheduling
 improvement here speeds up every consumer at once.
 """
 
+from repro.runtime.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    PoolBackend,
+    QueueBackend,
+    SerialBackend,
+)
 from repro.runtime.registry import (
     AlgorithmSpec,
     algorithm_names,
@@ -71,4 +83,9 @@ __all__ = [
     "BatchRunner",
     "instance_fingerprint",
     "usable_cpus",
+    "ExecutionBackend",
+    "SerialBackend",
+    "PoolBackend",
+    "QueueBackend",
+    "BACKENDS",
 ]

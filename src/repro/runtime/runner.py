@@ -32,6 +32,13 @@ and the portfolio mode:
 * **portfolio mode** — :meth:`BatchRunner.portfolio` runs every applicable
   registered algorithm on each instance and keeps the best schedule, with
   deterministic ``(makespan, algorithm name)`` tie-breaking.
+
+Where cold tasks actually *run* is delegated to a pluggable
+:class:`~repro.runtime.backends.ExecutionBackend`
+(``backend="serial" | "pool" | "queue"``): the runner keeps orchestration —
+cache and store lookup, cost ordering, streaming merge, finalisation —
+while the backend owns execution, including the distributed SQLite work
+queue drained by ``python -m repro.runtime.worker`` processes.
 """
 
 from __future__ import annotations
@@ -40,9 +47,8 @@ import hashlib
 import multiprocessing
 import os
 import time
-import traceback
 import weakref
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence, Tuple,
@@ -53,6 +59,8 @@ import numpy as np
 from repro.algorithms.base import AlgorithmResult
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule
+from repro.runtime.backends import ExecutionBackend, make_backend
+from repro.runtime.backends.base import map_chunk, resolve_chunk_size
 from repro.runtime.registry import algorithms_for, get_algorithm
 from repro.store import CostModel, ResultStore
 
@@ -208,30 +216,8 @@ class BatchResult:
         return len(self.results) / self.wall_seconds
 
 
-# ---------------------------------------------------------------------------
-# worker-side execution (must stay module-level: shipped to pool workers)
-# ---------------------------------------------------------------------------
-def _run_one(algorithm: str, instance: Instance,
-             kwargs: Dict[str, object]) -> Tuple[str, object]:
-    try:
-        result = get_algorithm(algorithm).run(instance, **kwargs)
-        return ("ok", result)
-    except Exception as exc:  # capture, never kill the batch
-        return ("error", (f"{type(exc).__name__}: {exc}", traceback.format_exc()))
-
-
-def _run_chunk(payload: List[Tuple[str, Instance, Dict[str, object]]]
-               ) -> List[Tuple[str, object]]:
-    return [_run_one(algorithm, instance, kwargs)
-            for algorithm, instance, kwargs in payload]
-
-
-def _map_chunk(func: Callable, items: List[object]) -> List[object]:
-    return [func(item) for item in items]
-
-
 class BatchRunner:
-    """Execute algorithm/instance grids serially or on a process pool.
+    """Execute algorithm/instance grids through a pluggable backend.
 
     Parameters
     ----------
@@ -280,6 +266,24 @@ class BatchRunner:
         ``multiprocessing`` context; defaults to ``"fork"`` where available
         so registry state (including dynamically registered algorithms)
         reaches the workers.
+    backend:
+        Where cold tasks execute: a name from
+        :data:`repro.runtime.backends.BACKENDS` (``"serial"``, ``"pool"``,
+        ``"queue"``), a ready :class:`ExecutionBackend` instance, or
+        ``None`` / ``"auto"`` to keep the historical rule — a process pool
+        iff ``use_processes`` resolves true, in-process otherwise.  The
+        queue backend additionally needs a ``store`` (the queue lives in
+        the store file) and is drained by this process and/or external
+        ``python -m repro.runtime.worker`` processes.
+    backend_options:
+        Extra constructor kwargs for a *named* backend (e.g.
+        ``{"inline": False, "lease_s": 10.0}`` for ``"queue"``).
+    refit_every:
+        Auto-refit cadence of an ``"auto"`` cost model: after this many
+        results are written through the attached store handle, the model
+        is lazily refitted so predictions track the runs the store just
+        absorbed.  ``None`` disables auto-refitting (the manual
+        :meth:`refit_cost_model` always works).
     """
 
     def __init__(
@@ -293,9 +297,14 @@ class BatchRunner:
         cost_model: Union[None, str, CostModel] = "auto",
         chunk_size: Optional[int] = None,
         mp_context: Optional[multiprocessing.context.BaseContext] = None,
+        backend: Union[None, str, ExecutionBackend] = None,
+        backend_options: Optional[Dict[str, object]] = None,
+        refit_every: Optional[int] = 200,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if refit_every is not None and refit_every < 1:
+            raise ValueError("refit_every must be >= 1 (or None to disable)")
         self.max_workers = max_workers if max_workers is not None else usable_cpus()
         self.use_processes = (self.max_workers > 1 if use_processes is None
                               else bool(use_processes))
@@ -309,6 +318,8 @@ class BatchRunner:
         #: Whether the cost model is runner-managed ("auto") as opposed to
         #: caller-provided/disabled; attach_store may only re-arm the former.
         self._cost_model_auto = isinstance(cost_model, str)
+        self.refit_every = refit_every
+        self._next_refit_at = self._refit_threshold()
         if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
             mp_context = multiprocessing.get_context("fork")
         self._mp_context = mp_context
@@ -316,6 +327,8 @@ class BatchRunner:
         self.stats: Dict[str, int] = {"tasks": 0, "cache_hits": 0,
                                       "store_hits": 0, "store_puts": 0,
                                       "errors": 0, "timeouts": 0}
+        self.backend: ExecutionBackend = make_backend(backend, self,
+                                                      backend_options)
 
     # ------------------------------------------------------------------
     # public API
@@ -412,16 +425,15 @@ class BatchRunner:
             return
         ordered = self._order_by_cost(tasks, pending)
         ordered_tasks = [tasks[i] for i in ordered]
-        stream = (self._iter_pool(ordered_tasks) if self.use_processes
-                  else self._iter_serial(ordered_tasks))
-        for local_idx, result in stream:
+        for local_idx, result in self.backend.submit(ordered_tasks):
             idx = ordered[local_idx]
             ok = not (result.meta.get("error") or result.meta.get("timeout"))
             if ok and self.cache_enabled and keys[idx] is not None:
                 self._cache[keys[idx]] = result
-                if self.store is not None:
+                if self.store is not None and not self.backend.persists_results:
                     self.store.put(tasks[idx], result)
                     self.stats["store_puts"] += 1
+                self._maybe_rearm_cost_model()
             yield idx, result
 
     # ------------------------------------------------------------------
@@ -448,7 +460,32 @@ class BatchRunner:
         """
         self._cost_model = "auto" if self.store is not None else None
         self._cost_model_auto = True
+        self._next_refit_at = self._refit_threshold()
         return self.cost_model()
+
+    def _refit_threshold(self) -> Optional[int]:
+        """Store-put count at which the next auto-refit should trigger."""
+        if self.refit_every is None or self.store is None:
+            return None
+        return self.store.stats_counters["puts"] + self.refit_every
+
+    def _maybe_rearm_cost_model(self) -> None:
+        """Re-arm the ``"auto"`` cost model every ``refit_every`` store puts.
+
+        The counter watched is the attached store handle's ``puts`` — with
+        :func:`repro.analysis.get_runner` sharing one :class:`ResultStore`
+        across runners, every tenant's writes advance the same counter, so
+        any of them crossing the threshold refreshes this runner's
+        predictions.  Re-arming is lazy (the actual fit happens on the next
+        :meth:`cost_model` call), so a burst of puts costs one refit, not
+        one per put.
+        """
+        if (self._next_refit_at is None or not self._cost_model_auto
+                or self.store is None):
+            return
+        if self.store.stats_counters["puts"] >= self._next_refit_at:
+            self._cost_model = "auto"
+            self._next_refit_at = self._refit_threshold()
 
     def attach_store(self, store: Union[str, Path, ResultStore]) -> None:
         """Attach a persistent store to a runner created without one.
@@ -465,6 +502,7 @@ class BatchRunner:
         self.store = store
         if self._cost_model_auto:
             self._cost_model = "auto"
+        self._next_refit_at = self._refit_threshold()
 
     def _order_by_cost(self, tasks: Sequence[BatchTask],
                        pending: List[int]) -> List[int]:
@@ -570,18 +608,25 @@ class BatchRunner:
         ``func`` must be a module-level callable (picklable by reference) in
         pool mode.  Unlike :meth:`run_tasks`, exceptions propagate: sweep
         steps are deterministic code whose failure is a bug, not a result.
+
+        Forks a pool only when the runner's resolved backend is the pool
+        backend: a caller who chose ``backend="serial"`` (or ``"queue"``,
+        whose distribution is task-shaped, not map-shaped) opted out of
+        in-process forking, and ``map`` must honour that choice too.
         """
+        from repro.runtime.backends import PoolBackend
+
         items = list(items)
         if not items:
             return []
-        if not self.use_processes or len(items) == 1:
+        if not isinstance(self.backend, PoolBackend) or len(items) == 1:
             # A single item gains nothing from a pool; skip fork + pickling.
             return [func(item) for item in items]
-        chunk = self._resolve_chunk_size(len(items))
+        chunk = resolve_chunk_size(self.chunk_size, len(items), self.max_workers)
         chunks = [items[i:i + chunk] for i in range(0, len(items), chunk)]
         with ProcessPoolExecutor(max_workers=self.max_workers,
                                  mp_context=self._mp_context) as pool:
-            parts = list(pool.map(_map_chunk, [func] * len(chunks), chunks))
+            parts = list(pool.map(map_chunk, [func] * len(chunks), chunks))
         return [value for part in parts for value in part]
 
     def clear_cache(self) -> None:
@@ -589,212 +634,7 @@ class BatchRunner:
         self._cache.clear()
 
     # ------------------------------------------------------------------
-    # execution backends
-    # ------------------------------------------------------------------
-    def _retry_collateral(self, tasks: Sequence[BatchTask],
-                          results: List[AlgorithmResult]) -> List[AlgorithmResult]:
-        """Re-run tasks that failed because a *sibling's* worker died.
-
-        A dying worker (OOM kill, native-code crash) breaks the whole
-        ``ProcessPoolExecutor``, failing healthy in-flight siblings along
-        with the culprit.  Casualties are first retried together on one
-        fresh pool (cheap, recovers everything when the culprit's death
-        was load-induced); any task that dies again is then isolated in
-        its own single-task pool so a deterministic culprit cannot keep
-        poisoning the others.  After that it keeps its sentinel.
-        """
-        def dead_indices(rs: List[AlgorithmResult]) -> List[int]:
-            return [i for i, r in enumerate(rs)
-                    if "worker died" in str(r.meta.get("error", ""))]
-
-        dead = dead_indices(results)
-        if not dead:
-            return results
-        group = self._execute_pool([tasks[i] for i in dead])
-        self.stats["errors"] -= len(dead)  # superseded by the retry outcomes
-        for idx, result in zip(dead, group):
-            results[idx] = result
-        still_dead = dead_indices(results)
-        self.stats["errors"] -= len(still_dead)
-        for idx in still_dead:
-            results[idx] = self._execute_pool([tasks[idx]])[0]
-        return results
-
-    def _resolve_chunk_size(self, num_tasks: int) -> int:
-        if self.chunk_size is not None:
-            return max(1, int(self.chunk_size))
-        spread = max(1, -(-num_tasks // (4 * self.max_workers)))
-        return min(16, spread)
-
-    def _iter_serial(self, tasks: Sequence[BatchTask]
-                     ) -> Iterator[Tuple[int, AlgorithmResult]]:
-        """In-process execution, yielding each result as it finishes."""
-        for local_idx, task in enumerate(tasks):
-            t0 = time.perf_counter()
-            status, payload = _run_one(task.algorithm, task.instance, task.kwargs_dict())
-            elapsed = time.perf_counter() - t0
-            result = self._finalise(task, status, payload)
-            if (self.timeout is not None and elapsed > self.timeout
-                    and not result.meta.get("error")):
-                result = self._sentinel(task, timeout=True)
-                self.stats["timeouts"] += 1
-            yield local_idx, result
-
-    def _iter_pool(self, tasks: Sequence[BatchTask]
-                   ) -> Iterator[Tuple[int, AlgorithmResult]]:
-        """Pool execution, yielding each chunk's results as it completes.
-
-        Chunks finish in arbitrary order; the yielded local indices keep
-        the caller aligned.  Tasks whose future *raised* (their worker
-        died, breaking the pool) are withheld from the stream, then
-        recovered at the end through the collateral-retry path on fresh
-        pools, so a streaming consumer still sees exactly one result per
-        task.
-        """
-        if self.timeout is not None:
-            wave_casualties: List[Tuple[int, AlgorithmResult]] = []
-            for local_idx, result in self._iter_pool_waves(tasks):
-                if "worker died" in str(result.meta.get("error", "")):
-                    wave_casualties.append((local_idx, result))
-                else:
-                    yield local_idx, result
-            if wave_casualties:
-                wave_casualties.sort(key=lambda pair: pair[0])
-                retry_tasks = [tasks[i] for i, _ in wave_casualties]
-                recovered = self._retry_collateral(
-                    retry_tasks, [r for _, r in wave_casualties])
-                for (local_idx, _), result in zip(wave_casualties, recovered):
-                    yield local_idx, result
-            return
-        chunk = self._resolve_chunk_size(len(tasks))
-        chunk_indices = [list(range(lo, min(lo + chunk, len(tasks))))
-                         for lo in range(0, len(tasks), chunk)]
-        casualties: List[Tuple[int, str]] = []
-        pool = ProcessPoolExecutor(max_workers=self.max_workers,
-                                   mp_context=self._mp_context)
-        try:
-            future_to_indices = {}
-            for indices in chunk_indices:
-                payload = [(tasks[i].algorithm, tasks[i].instance,
-                            tasks[i].kwargs_dict()) for i in indices]
-                future_to_indices[pool.submit(_run_chunk, payload)] = indices
-            waiting = set(future_to_indices)
-            while waiting:
-                done, waiting = wait(waiting, return_when=FIRST_COMPLETED)
-                for future in done:
-                    indices = future_to_indices[future]
-                    try:
-                        outcomes = future.result()
-                    except Exception as exc:  # worker died (OOM kill, segfault, …)
-                        message = f"worker died: {type(exc).__name__}: {exc}"
-                        casualties.extend((i, message) for i in indices)
-                        continue
-                    for local_idx, (status, outcome) in zip(indices, outcomes):
-                        yield local_idx, self._finalise(tasks[local_idx], status,
-                                                        outcome)
-        finally:
-            # A consumer that closes the stream early (break / .close())
-            # lands here with chunks still in flight; a plain barrier-style
-            # shutdown would block for the whole remaining batch.  Cancel
-            # what never started and terminate what did — abandoning the
-            # work is the point of breaking out.
-            pool.shutdown(wait=False, cancel_futures=True)
-            _terminate_workers(pool)
-        if casualties:
-            casualties.sort()
-            retry_tasks = [tasks[i] for i, _ in casualties]
-            placeholders = []
-            for task, (_, message) in zip(retry_tasks, casualties):
-                self.stats["errors"] += 1
-                placeholders.append(self._sentinel(task, error=message))
-            recovered = self._retry_collateral(retry_tasks, placeholders)
-            for (local_idx, _), result in zip(casualties, recovered):
-                yield local_idx, result
-
-    def _execute_pool(self, tasks: Sequence[BatchTask]) -> List[AlgorithmResult]:
-        """Collect one pool pass in submission order (collateral-retry path)."""
-        if self.timeout is not None:
-            collected = sorted(self._iter_pool_waves(tasks), key=lambda pair: pair[0])
-            return [result for _, result in collected]
-        chunk = self._resolve_chunk_size(len(tasks))
-        payloads = [[(t.algorithm, t.instance, t.kwargs_dict())
-                     for t in tasks[i:i + chunk]]
-                    for i in range(0, len(tasks), chunk)]
-        results: List[AlgorithmResult] = []
-        with ProcessPoolExecutor(max_workers=self.max_workers,
-                                 mp_context=self._mp_context) as pool:
-            futures = [pool.submit(_run_chunk, payload) for payload in payloads]
-            for future, payload in zip(futures, payloads):  # submission order
-                try:
-                    outcomes = future.result()
-                except Exception as exc:  # worker died (OOM kill, segfault, …)
-                    outcomes = [("error", (f"worker died: {type(exc).__name__}: {exc}",
-                                           None))] * len(payload)
-                for status, outcome in outcomes:
-                    results.append(self._finalise(tasks[len(results)], status, outcome))
-        return results
-
-    def _iter_pool_waves(self, tasks: Sequence[BatchTask]
-                         ) -> Iterator[Tuple[int, AlgorithmResult]]:
-        """Timeout mode: waves of ``max_workers`` single-task futures.
-
-        Every task in a wave starts on a worker immediately, so its budget
-        is a true per-task wall-clock budget — a queued task never burns its
-        budget waiting behind a stuck sibling, and an early completion never
-        extends the deadline of the others.  Results are yielded the moment
-        their future completes (timeout sentinels at wave end); workers of
-        timed-out tasks are terminated (they cannot be cancelled) and a
-        fresh pool serves the next wave.
-        """
-        cursor = 0
-        pool = ProcessPoolExecutor(max_workers=self.max_workers,
-                                   mp_context=self._mp_context)
-        try:
-            while cursor < len(tasks):
-                wave = list(range(cursor, min(cursor + self.max_workers, len(tasks))))
-                cursor = wave[-1] + 1
-                future_to_index = {
-                    pool.submit(_run_one, tasks[idx].algorithm, tasks[idx].instance,
-                                tasks[idx].kwargs_dict()): idx
-                    for idx in wave
-                }
-                deadline = time.monotonic() + self.timeout
-                pending = set(future_to_index)
-                pool_broken = False
-                while pending:
-                    window = deadline - time.monotonic()
-                    if window <= 0:
-                        break
-                    done, pending = wait(pending, timeout=window,
-                                         return_when=FIRST_COMPLETED)
-                    for future in done:
-                        idx = future_to_index[future]
-                        try:
-                            status, outcome = future.result()
-                        except Exception as exc:  # worker died mid-task
-                            pool_broken = True
-                            status = "error"
-                            outcome = (f"worker died: {type(exc).__name__}: {exc}",
-                                       None)
-                        yield idx, self._finalise(tasks[idx], status, outcome)
-                if pending:  # deadline passed with tasks still running
-                    for future in pending:
-                        idx = future_to_index[future]
-                        self.stats["timeouts"] += 1
-                        yield idx, self._sentinel(tasks[idx], timeout=True)
-                if pending or pool_broken:  # pool is stuck or broken: replace it
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    _terminate_workers(pool)
-                    pool = ProcessPoolExecutor(max_workers=self.max_workers,
-                                               mp_context=self._mp_context)
-        finally:
-            # Also reached when the consumer closes the stream mid-wave;
-            # terminate so an abandoned wave cannot leak running workers.
-            pool.shutdown(wait=False, cancel_futures=True)
-            _terminate_workers(pool)
-
-    # ------------------------------------------------------------------
-    # result shaping
+    # result shaping (shared with every backend)
     # ------------------------------------------------------------------
     def _finalise(self, task: BatchTask, status: str,
                   payload: object) -> AlgorithmResult:
@@ -826,22 +666,6 @@ class BatchRunner:
             guarantee=None,
             meta=meta,
         )
-
-
-def _terminate_workers(pool: ProcessPoolExecutor) -> None:
-    """Forcibly stop a pool's worker processes (used after a timeout).
-
-    ``cancel_futures`` cannot stop a *running* task, so an abandoned pool
-    would otherwise leak a stuck worker per timed-out batch.  Reaches into
-    the executor's worker table; guarded so a CPython-internals change
-    degrades to the old leak instead of an error.
-    """
-    processes = getattr(pool, "_processes", None) or {}
-    for process in list(processes.values()):
-        try:
-            process.terminate()
-        except Exception:
-            pass
 
 
 def usable_cpus() -> int:

@@ -1,0 +1,123 @@
+"""Stand-alone queue worker: drain leased tasks, publish results via the store.
+
+::
+
+    python -m repro.runtime.worker --store PATH [--worker-id ID]
+        [--lease-s S] [--poll-s S] [--idle-exit S] [--max-tasks N]
+        [--timeout S]
+
+A worker is the distributed half of the ``"queue"`` execution backend:
+it opens the shared store file, leases tasks from the ``task_queue``
+table, computes them through the same registry dispatch every other
+backend uses, and writes successful results into the
+:class:`~repro.store.result_store.ResultStore` — where the submitting
+:class:`~repro.runtime.backends.queue.QueueBackend` (and any warm re-run
+forever after) picks them up.  Start as many workers against one store
+file as you have cores; the lease protocol keeps them from stepping on
+each other and ``compute_count`` proves no key is ever computed twice.
+
+Exit conditions: ``--max-tasks`` processed, or nothing claimable for
+``--idle-exit`` seconds (pass ``--idle-exit 0`` to exit on the first idle
+poll; the default keeps draining long enough for a submitter that is
+still enqueueing).  A terminating signal simply kills the process — the
+lease on any in-flight task expires and another worker picks it up;
+that is the crash-recovery path working as designed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.runtime.backends.queue import process_lease
+from repro.store import ResultStore
+from repro.store.task_queue import TaskQueue
+
+__all__ = ["main", "drain"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.worker",
+        description="Drain the task queue living in a shared result store.")
+    parser.add_argument("--store", required=True,
+                        help="path to the shared SQLite store file")
+    parser.add_argument("--worker-id", default=None,
+                        help="queue identity (default: worker-<pid>)")
+    parser.add_argument("--lease-s", type=float, default=60.0,
+                        help="lease duration in seconds (default: 60)")
+    parser.add_argument("--poll-s", type=float, default=0.05,
+                        help="sleep between idle polls (default: 0.05)")
+    parser.add_argument("--idle-exit", type=float, default=10.0,
+                        help="exit after this many seconds with nothing "
+                             "claimable (default: 10)")
+    parser.add_argument("--max-tasks", type=int, default=None,
+                        help="exit after processing this many leases")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-task budget; the check is post-hoc, so an "
+                             "overrunning task's (valid) result is still "
+                             "published — it is merely counted as overtime "
+                             "in the summary")
+    return parser
+
+
+def drain(store: ResultStore, queue: TaskQueue, worker_id: str, *,
+          poll_s: float = 0.05, idle_exit: Optional[float] = 10.0,
+          max_tasks: Optional[int] = None,
+          timeout: Optional[float] = None) -> dict:
+    """The worker loop (importable for in-process tests).
+
+    Returns drain statistics: ``computed`` (tasks actually run),
+    ``deduped`` (leases completed from an already-stored result),
+    ``failed`` (captured algorithm errors), ``overtime`` (tasks that blew
+    ``timeout`` — their results are published anyway: the check is
+    post-hoc, the work is already done, and discarding a valid result
+    would permanently fail the key for every submitter sharing the
+    queue).
+    """
+    stats = {"computed": 0, "deduped": 0, "failed": 0, "overtime": 0}
+    idle_since = time.monotonic()
+    while True:
+        queue.reclaim_expired()
+        leased = queue.lease(worker_id)
+        if leased is None:
+            if (idle_exit is not None
+                    and time.monotonic() - idle_since >= idle_exit):
+                return stats
+            time.sleep(poll_s)
+            continue
+        outcome, _payload, elapsed = process_lease(store, queue, leased,
+                                                   worker_id)
+        stats[outcome] += 1
+        if (outcome == "computed" and timeout is not None
+                and elapsed > timeout):
+            stats["overtime"] += 1
+        idle_since = time.monotonic()
+        total = stats["computed"] + stats["deduped"] + stats["failed"]
+        if max_tasks is not None and total >= max_tasks:
+            return stats
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    worker_id = args.worker_id or f"worker-{os.getpid()}"
+    store = ResultStore(args.store)
+    queue = TaskQueue(args.store, lease_s=args.lease_s)
+    try:
+        stats = drain(store, queue, worker_id, poll_s=args.poll_s,
+                      idle_exit=args.idle_exit, max_tasks=args.max_tasks,
+                      timeout=args.timeout)
+    finally:
+        queue.close()
+        store.close()
+    print(f"{worker_id}: computed={stats['computed']} "
+          f"deduped={stats['deduped']} failed={stats['failed']} "
+          f"overtime={stats['overtime']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,11 @@ This package is the durability and prediction layer under
 * :class:`CostModel` — log-linear per-algorithm runtime predictors fitted
   from the wall times the store has recorded, used for descending-cost
   task ordering and for ``portfolio(..., budget_s=...)`` latency budgets.
+* :class:`TaskQueue` — a lease-based work queue in a ``task_queue`` table
+  of the *same* SQLite file, turning the store into a distributed work
+  plane: ``python -m repro.runtime.worker`` processes lease tasks, publish
+  results through the store, and ``compute_count`` proves exactly-once
+  compute per key (see :mod:`repro.store.task_queue`).
 * ``python -m repro.store stats|vacuum|export`` — offline inspection of a
   store file without touching any payload.
 
@@ -32,6 +37,7 @@ Quickstart
 
 from repro.store.cost_model import DEFAULT_COST_FEATURES, CostModel
 from repro.store.result_store import SCHEMA_VERSION, ResultStore, StoreRecord
+from repro.store.task_queue import LeasedTask, QueueRow, TaskQueue
 
 __all__ = [
     "ResultStore",
@@ -39,4 +45,7 @@ __all__ = [
     "CostModel",
     "DEFAULT_COST_FEATURES",
     "SCHEMA_VERSION",
+    "TaskQueue",
+    "LeasedTask",
+    "QueueRow",
 ]

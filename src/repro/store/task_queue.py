@@ -1,0 +1,400 @@
+r"""Distributed work queue over the result-store SQLite file.
+
+:class:`TaskQueue` adds a ``task_queue`` table to the same SQLite file a
+:class:`~repro.store.result_store.ResultStore` lives in, turning the store
+file into a complete *work plane*: any number of runner and worker
+processes open the same path, lease tasks from the queue, and publish
+results through the store.  WAL mode serialises the writers; every state
+transition below is a single transaction, so the queue is safe under
+concurrent workers on one host (the store file is the coordination
+medium — no extra daemon).
+
+Row lifecycle
+-------------
+
+::
+
+    enqueue --> queued --lease--> leased --complete--> done
+                  ^                 |  \
+                  |   lease expired |   \-- fail (algorithm error) --> failed
+                  +--- (requeue) ---+
+                        attempts > max_attempts --> failed
+
+* **Leases expire.**  A worker that crashes (OOM kill, segfault, power
+  loss) never calls :meth:`complete`; its lease times out and
+  :meth:`reclaim_expired` hands the task to the next worker.  The crashed
+  worker's id is recorded in ``excluded_worker`` so the *same* worker does
+  not immediately re-claim the task that just killed it — a second worker
+  gets the chance first.
+* **Attempts are capped.**  A task that keeps killing workers stops being
+  requeued after ``max_attempts`` leases and surfaces as ``failed`` (the
+  submitter turns that into an error-sentinel result).
+* **Algorithm errors do not retry.**  A captured Python exception is
+  deterministic; the worker marks the row ``failed`` immediately with the
+  message, mirroring the serial backend's error-sentinel semantics.
+* **Dedup is store-mediated.**  Rows are keyed by
+  :meth:`~repro.runtime.runner.BatchTask.cache_key`; enqueueing an
+  already-known key is a no-op, and a worker that leases a key whose
+  result already sits in the store completes the row *without computing*
+  (``compute_count`` stays put).  ``compute_count`` records how many times
+  a key was actually computed across all workers — the dedup guarantee is
+  ``compute_count == 1`` for every key, which the F4 benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep the package cheap
+    from repro.runtime.runner import BatchTask
+
+__all__ = ["TaskQueue", "LeasedTask", "QueueRow"]
+
+#: SQLite caps host parameters per statement (999 on older builds); bulk
+#: SELECTs are chunked below this (matches result_store._MAX_SQL_PARAMS).
+_MAX_SQL_PARAMS = 500
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS task_queue (
+    key             TEXT PRIMARY KEY,
+    task_payload    BLOB NOT NULL,
+    status          TEXT NOT NULL DEFAULT 'queued',
+    owner           TEXT,
+    lease_expires_at REAL,
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    compute_count   INTEGER NOT NULL DEFAULT 0,
+    excluded_worker TEXT,
+    error           TEXT,
+    enqueued_at     REAL NOT NULL,
+    updated_at      REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_task_queue_status
+    ON task_queue (status, enqueued_at);
+"""
+
+
+@dataclass(frozen=True)
+class LeasedTask:
+    """One successfully leased unit of work."""
+
+    key: str
+    task: "BatchTask"
+    attempts: int
+
+
+@dataclass(frozen=True)
+class QueueRow:
+    """Queue-state snapshot of one row (payload excluded)."""
+
+    key: str
+    status: str
+    owner: Optional[str]
+    attempts: int
+    compute_count: int
+    excluded_worker: Optional[str]
+    error: Optional[str]
+
+
+class TaskQueue:
+    """Lease-based task queue sharing the result store's SQLite file.
+
+    Parameters
+    ----------
+    path:
+        The store file (the same path a :class:`ResultStore` opens); the
+        ``task_queue`` table is created on first use.
+    lease_s:
+        How long a lease lasts before the task is considered abandoned and
+        becomes reclaimable.  Must comfortably exceed the longest expected
+        single-task runtime — an expired lease on a still-running worker
+        means the task may be computed twice (harmless for correctness,
+        results are content-addressed, but it breaks the
+        exactly-once-compute economy).
+    max_attempts:
+        Leases a task may consume before it is declared ``failed``.
+
+    One ``TaskQueue`` instance must not be shared across processes — open
+    the same *file* from each process (exactly like ``ResultStore``).
+    """
+
+    def __init__(self, path: Union[str, Path], *, lease_s: float = 60.0,
+                 max_attempts: int = 3) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be > 0")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.path = Path(path)
+        self.lease_s = float(lease_s)
+        self.max_attempts = int(max_attempts)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), timeout=30.0)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "TaskQueue":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def enqueue(self, tasks: Sequence["BatchTask"], *,
+                now: Optional[float] = None) -> List[str]:
+        """Add tasks to the queue, deduplicating by cache key.
+
+        A key that is already queued, leased, or done is left untouched
+        (someone is on it, or the result is already published); a key that
+        previously *failed* is re-armed with a fresh attempt budget — an
+        explicit re-submission is the caller's way of saying "try again".
+        Returns the keys this call armed (became ``queued``); keys some
+        other submitter already owns are *not* in the list, which is what
+        lets a submitter later cancel only its own unclaimed work.
+        """
+        now = time.time() if now is None else now
+        armed: List[str] = []
+        with self._conn:
+            for task in tasks:
+                key = task.cache_key()
+                payload = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+                cur = self._conn.execute(
+                    "INSERT OR IGNORE INTO task_queue"
+                    " (key, task_payload, status, enqueued_at, updated_at)"
+                    " VALUES (?, ?, 'queued', ?, ?)",
+                    (key, payload, now, now))
+                if cur.rowcount:
+                    armed.append(key)
+                    continue
+                cur = self._conn.execute(
+                    "UPDATE task_queue SET status = 'queued', attempts = 0,"
+                    " owner = NULL, lease_expires_at = NULL, error = NULL,"
+                    " excluded_worker = NULL, updated_at = ?"
+                    " WHERE key = ? AND status = 'failed'",
+                    (now, key))
+                if cur.rowcount:
+                    armed.append(key)
+        return armed
+
+    def requeue(self, keys: Sequence[str], *,
+                now: Optional[float] = None) -> int:
+        """Re-arm finished rows (``done`` or ``failed``) to ``queued``.
+
+        The escape hatch for a ``done`` row whose published result has
+        since vanished from the result store (size/age eviction, or the
+        version purge on a ``repro`` upgrade): without it the row would
+        block re-submission forever — nothing claimable, nothing stored.
+        Resets the attempt budget; in-flight (``queued``/``leased``) rows
+        are left alone.
+        """
+        now = time.time() if now is None else now
+        changed = 0
+        with self._conn:
+            for lo in range(0, len(keys), _MAX_SQL_PARAMS):
+                chunk = list(keys[lo:lo + _MAX_SQL_PARAMS])
+                placeholders = ",".join("?" * len(chunk))
+                cur = self._conn.execute(
+                    f"UPDATE task_queue SET status = 'queued', attempts = 0,"
+                    f" owner = NULL, lease_expires_at = NULL, error = NULL,"
+                    f" excluded_worker = NULL, updated_at = ?"
+                    f" WHERE status IN ('done', 'failed')"
+                    f" AND key IN ({placeholders})",
+                    [now, *chunk])
+                changed += cur.rowcount
+        return changed
+
+    def cancel_queued(self, keys: Sequence[str]) -> int:
+        """Drop rows among ``keys`` that are still ``queued`` (unclaimed).
+
+        The submitter's early-exit path: abandoning a batch must not leave
+        unclaimed work behind for workers to burn cycles on.  Leased and
+        finished rows are left alone.
+        """
+        dropped = 0
+        with self._conn:
+            for lo in range(0, len(keys), _MAX_SQL_PARAMS):
+                chunk = list(keys[lo:lo + _MAX_SQL_PARAMS])
+                placeholders = ",".join("?" * len(chunk))
+                cur = self._conn.execute(
+                    f"DELETE FROM task_queue WHERE status = 'queued'"
+                    f" AND key IN ({placeholders})", chunk)
+                dropped += cur.rowcount
+        return dropped
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def lease(self, worker_id: str, *,
+              now: Optional[float] = None) -> Optional[LeasedTask]:
+        """Atomically claim one task, or ``None`` when nothing is claimable.
+
+        Claimable rows are ``queued`` rows plus ``leased`` rows whose lease
+        has expired (their worker is presumed dead), excluding rows whose
+        ``excluded_worker`` is *this* worker — a task that just killed us
+        should be someone else's second try — and rows whose expired lease
+        this worker itself holds (re-leasing one's own abandoned task
+        would dodge the exclusion that :meth:`reclaim_expired` records).
+        The exclusion is a *grace period*, not a ban: once a requeued row
+        has sat unclaimed for a full ``lease_s`` (no other worker wanted
+        it), the excluded worker may take it after all — otherwise a
+        single-worker fleet would starve its own casualty forever while
+        attempt budget remains.  Oldest-enqueued first, insertion order as
+        the deterministic tie-break.  ``BEGIN IMMEDIATE`` takes the
+        write lock up front so two workers can never claim the same row.
+        """
+        now = time.time() if now is None else now
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = self._conn.execute(
+                "SELECT key, task_payload, attempts FROM task_queue"
+                " WHERE (status = 'queued'"
+                "        OR (status = 'leased' AND lease_expires_at <= ?"
+                "            AND owner != ?))"
+                "   AND (excluded_worker IS NULL OR excluded_worker != ?"
+                "        OR (status = 'queued' AND updated_at <= ?))"
+                "   AND attempts < ?"
+                " ORDER BY enqueued_at ASC, rowid ASC LIMIT 1",
+                (now, worker_id, worker_id, now - self.lease_s,
+                 self.max_attempts)).fetchone()
+            if row is None:
+                self._conn.execute("COMMIT")
+                return None
+            key, payload, attempts = row
+            self._conn.execute(
+                "UPDATE task_queue SET status = 'leased', owner = ?,"
+                " lease_expires_at = ?, attempts = ?, updated_at = ?"
+                " WHERE key = ?",
+                (worker_id, now + self.lease_s, attempts + 1, now, key))
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return LeasedTask(key=key, task=pickle.loads(payload),
+                          attempts=attempts + 1)
+
+    def complete(self, key: str, worker_id: str, *, computed: bool,
+                 now: Optional[float] = None) -> None:
+        """Mark a key ``done``.  ``computed=False`` records a dedup hit
+        (the result was already in the store; nothing was computed).
+
+        Deliberately not owner-checked: results are content-addressed, so
+        a worker finishing after its lease expired (and after a second
+        worker re-leased the row) still reports a correct outcome —
+        last-writer-wins on identical content is harmless.
+        """
+        now = time.time() if now is None else now
+        with self._conn:
+            self._conn.execute(
+                "UPDATE task_queue SET status = 'done', owner = ?,"
+                " lease_expires_at = NULL, error = NULL,"
+                " compute_count = compute_count + ?, updated_at = ?"
+                " WHERE key = ?",
+                (worker_id, 1 if computed else 0, now, key))
+
+    def fail(self, key: str, worker_id: str, error: str, *,
+             now: Optional[float] = None) -> None:
+        """Mark a key ``failed`` with an error message (no retry).
+
+        For *deterministic* failures — a captured algorithm exception will
+        raise again on any worker, so retrying burns the attempt budget for
+        nothing.  Crash-shaped failures go through lease expiry and
+        :meth:`reclaim_expired` instead, which does retry.
+        """
+        now = time.time() if now is None else now
+        with self._conn:
+            self._conn.execute(
+                "UPDATE task_queue SET status = 'failed', owner = ?,"
+                " lease_expires_at = NULL, error = ?, updated_at = ?"
+                " WHERE key = ?",
+                (worker_id, error, now, key))
+
+    def reclaim_expired(self, *, now: Optional[float] = None) -> int:
+        """Requeue expired leases; fail rows that exhausted their attempts.
+
+        The presumed-dead worker is recorded as ``excluded_worker`` so it
+        does not immediately re-claim the task it died on.  Returns the
+        number of rows whose state changed.
+        """
+        now = time.time() if now is None else now
+        changed = 0
+        with self._conn:
+            cur = self._conn.execute(
+                "UPDATE task_queue SET status = 'failed', excluded_worker = owner,"
+                " owner = NULL, lease_expires_at = NULL, updated_at = ?,"
+                " error = 'lease expired ' || attempts || ' time(s);"
+                " worker presumed crashed (attempt cap reached)'"
+                " WHERE status = 'leased' AND lease_expires_at <= ?"
+                "   AND attempts >= ?",
+                (now, now, self.max_attempts))
+            changed += cur.rowcount
+            cur = self._conn.execute(
+                "UPDATE task_queue SET status = 'queued', excluded_worker = owner,"
+                " owner = NULL, lease_expires_at = NULL, updated_at = ?"
+                " WHERE status = 'leased' AND lease_expires_at <= ?",
+                (now, now))
+            changed += cur.rowcount
+        return changed
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def rows(self, keys: Optional[Sequence[str]] = None) -> List[QueueRow]:
+        """Queue-state snapshots, for ``keys`` or the whole table."""
+        sql = ("SELECT key, status, owner, attempts, compute_count,"
+               " excluded_worker, error FROM task_queue")
+        out: List[QueueRow] = []
+        if keys is None:
+            for row in self._conn.execute(sql + " ORDER BY key ASC"):
+                out.append(QueueRow(*row))
+            return out
+        for lo in range(0, len(keys), _MAX_SQL_PARAMS):
+            chunk = list(keys[lo:lo + _MAX_SQL_PARAMS])
+            placeholders = ",".join("?" * len(chunk))
+            for row in self._conn.execute(
+                    f"{sql} WHERE key IN ({placeholders}) ORDER BY key ASC",
+                    chunk):
+                out.append(QueueRow(*row))
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        """Row counts per status (absent statuses map to 0)."""
+        counts = {"queued": 0, "leased": 0, "done": 0, "failed": 0}
+        for status, count in self._conn.execute(
+                "SELECT status, COUNT(*) FROM task_queue GROUP BY status"):
+            counts[status] = int(count)
+        return counts
+
+    def outstanding(self) -> int:
+        """Rows still in flight (``queued`` or ``leased``)."""
+        row = self._conn.execute(
+            "SELECT COUNT(*) FROM task_queue"
+            " WHERE status IN ('queued', 'leased')").fetchone()
+        return int(row[0])
+
+    def compute_counts(self, keys: Sequence[str]) -> Dict[str, int]:
+        """``{key: times actually computed}`` for ``keys`` present in the
+        table.  The distributed-dedup invariant is that every value is 1."""
+        return {row.key: row.compute_count for row in self.rows(keys)}
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM task_queue").fetchone()
+        return int(row[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskQueue({str(self.path)!r}, {self.counts()})"

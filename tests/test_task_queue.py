@@ -1,0 +1,359 @@
+"""The distributed work queue: leases, crash recovery, cross-process dedup.
+
+The contracts that matter for N workers sharing one store file:
+
+* a lease is exclusive — two workers can never claim the same row;
+* a crashed worker's lease expires, the task requeues with the dead
+  worker excluded, and a task that keeps killing workers stops retrying
+  after ``max_attempts``;
+* dedup is store-mediated: a key whose result is already published is
+  completed without computing, so ``compute_count == 1`` for every key no
+  matter how many workers drain the queue (verified across real
+  subprocesses below; everything passes on a 1-CPU container).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.algorithms.base import AlgorithmResult
+from repro.core.bounds import greedy_upper_bound
+from repro.core.instance import Instance
+from repro.generators import uniform_instance
+from repro.runtime import BatchTask, register_algorithm, unregister_algorithm
+from repro.runtime.worker import drain
+from repro.store import ResultStore, TaskQueue
+
+
+def _task(seed: int = 0, algorithm: str = "class-aware-greedy") -> BatchTask:
+    return BatchTask.make(algorithm, uniform_instance(12, 3, 3, seed=seed,
+                                                      integral=True))
+
+
+def _result_for(task: BatchTask) -> AlgorithmResult:
+    _, schedule = greedy_upper_bound(task.instance)
+    return AlgorithmResult.from_schedule(task.algorithm, schedule)
+
+
+def _src_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestQueueBasics:
+    def test_enqueue_dedups_by_key(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite") as queue:
+            assert queue.enqueue([task, task]) == [task.cache_key()]
+            assert queue.enqueue([task]) == []  # someone already owns it
+            assert len(queue) == 1
+            assert queue.counts()["queued"] == 1
+
+    def test_lease_is_exclusive_and_fifo(self, tmp_path):
+        tasks = [_task(seed=s) for s in range(3)]
+        with TaskQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue(tasks, now=100.0)
+            first = queue.lease("w1")
+            second = queue.lease("w2")
+            assert first.key != second.key
+            assert first.key == tasks[0].cache_key()  # oldest first
+            third = queue.lease("w1")
+            assert queue.lease("w3") is None  # nothing left to claim
+            assert {first.key, second.key, third.key} == \
+                {t.cache_key() for t in tasks}
+
+    def test_complete_and_compute_counts(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue([task])
+            leased = queue.lease("w1")
+            queue.complete(leased.key, "w1", computed=True)
+            assert queue.counts()["done"] == 1
+            assert queue.outstanding() == 0
+            assert queue.compute_counts([leased.key]) == {leased.key: 1}
+
+    def test_dedup_complete_does_not_count_a_compute(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue([task])
+            leased = queue.lease("w1")
+            queue.complete(leased.key, "w1", computed=False)
+            assert queue.compute_counts([leased.key]) == {leased.key: 0}
+
+    def test_fail_marks_failed_and_enqueue_rearms(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue([task])
+            leased = queue.lease("w1")
+            queue.fail(leased.key, "w1", "ValueError: nope")
+            (row,) = queue.rows([leased.key])
+            assert row.status == "failed"
+            assert "nope" in row.error
+            # Explicit re-submission re-arms with a fresh attempt budget.
+            assert queue.enqueue([task]) == [leased.key]
+            (row,) = queue.rows([leased.key])
+            assert row.status == "queued" and row.attempts == 0
+
+    def test_requeue_rearms_done_rows(self, tmp_path):
+        """The orphaned-result escape hatch: a done row whose store result
+        vanished (eviction, version purge) can be re-armed for recompute."""
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue([task])
+            leased = queue.lease("w1")
+            queue.complete(leased.key, "w1", computed=True)
+            assert queue.enqueue([task]) == []  # done rows stay done
+            assert queue.requeue([leased.key]) == 1
+            (row,) = queue.rows([leased.key])
+            assert row.status == "queued" and row.attempts == 0
+            assert queue.lease("w2") is not None
+
+    def test_requeue_spares_inflight_rows(self, tmp_path):
+        tasks = [_task(seed=s) for s in range(2)]
+        with TaskQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue(tasks, now=100.0)
+            leased = queue.lease("w1", now=100.0)
+            assert queue.requeue([t.cache_key() for t in tasks],
+                                 now=100.0) == 0
+            (row,) = queue.rows([leased.key])
+            assert row.status == "leased"  # the active lease survived
+
+    def test_cancel_queued_spares_leased_and_done(self, tmp_path):
+        tasks = [_task(seed=s) for s in range(3)]
+        keys = [t.cache_key() for t in tasks]
+        with TaskQueue(tmp_path / "q.sqlite") as queue:
+            queue.enqueue(tasks, now=100.0)
+            leased = queue.lease("w1")
+            queue.cancel_queued(keys)
+            statuses = {row.key: row.status for row in queue.rows()}
+            assert statuses == {leased.key: "leased"}  # queued rows dropped
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_is_reclaimed_with_exclusion(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite", lease_s=10.0) as queue:
+            queue.enqueue([task], now=100.0)
+            leased = queue.lease("w1", now=100.0)
+            assert queue.reclaim_expired(now=105.0) == 0  # still live
+            assert queue.reclaim_expired(now=111.0) == 1  # expired: requeued
+            (row,) = queue.rows([leased.key])
+            assert row.status == "queued"
+            assert row.excluded_worker == "w1"  # presumed-dead worker
+
+    def test_excluded_worker_cannot_reclaim_its_own_casualty(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite", lease_s=10.0) as queue:
+            queue.enqueue([task], now=100.0)
+            queue.lease("w1", now=100.0)
+            queue.reclaim_expired(now=111.0)
+            assert queue.lease("w1", now=112.0) is None  # excluded
+            other = queue.lease("w2", now=112.0)  # someone else's second try
+            assert other is not None and other.attempts == 2
+
+    def test_exclusion_expires_after_a_grace_period(self, tmp_path):
+        """A single-worker fleet must not starve its own casualty: once a
+        requeued row sat unclaimed for a full lease_s, the excluded worker
+        may take it after all."""
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite", lease_s=10.0) as queue:
+            queue.enqueue([task], now=100.0)
+            queue.lease("w1", now=100.0)
+            queue.reclaim_expired(now=111.0)  # requeued, excluded_worker=w1
+            assert queue.lease("w1", now=115.0) is None  # inside the grace
+            retaken = queue.lease("w1", now=121.5)  # 10s unclaimed: eligible
+            assert retaken is not None and retaken.attempts == 2
+
+    def test_own_expired_lease_is_not_directly_reclaimable(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite", lease_s=10.0) as queue:
+            queue.enqueue([task], now=100.0)
+            queue.lease("w1", now=100.0)
+            # Without an intervening reclaim sweep, the expired lease is
+            # claimable by w2 (crash takeover) but not by w1 itself.
+            assert queue.lease("w1", now=111.0) is None
+            assert queue.lease("w2", now=111.0) is not None
+
+    def test_attempt_cap_fails_the_task(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "q.sqlite", lease_s=10.0,
+                       max_attempts=2) as queue:
+            queue.enqueue([task], now=100.0)
+            now = 100.0
+            for worker in ("w1", "w2"):  # two attempts, two crashes
+                leased = queue.lease(worker, now=now)
+                assert leased is not None
+                now += 11.0
+            queue.reclaim_expired(now=now)
+            (row,) = queue.rows([task.cache_key()])
+            assert row.status == "failed"
+            assert row.attempts == 2
+            assert "attempt cap" in row.error
+            assert queue.lease("w3", now=now) is None
+
+
+class TestWorkerDrain:
+    """The importable worker loop (``repro.runtime.worker.drain``)."""
+
+    def test_drain_computes_and_publishes(self, tmp_path):
+        path = tmp_path / "drain.sqlite"
+        tasks = [_task(seed=s) for s in range(3)]
+        with ResultStore(path) as store, TaskQueue(path) as queue:
+            queue.enqueue(tasks)
+            stats = drain(store, queue, "w1", idle_exit=0.0, poll_s=0.01)
+            assert stats == {"computed": 3, "deduped": 0, "failed": 0,
+                             "overtime": 0}
+            assert queue.counts()["done"] == 3
+            for task in tasks:
+                assert store.get(task) is not None
+
+    def test_drain_dedups_against_the_store(self, tmp_path):
+        path = tmp_path / "dedup.sqlite"
+        tasks = [_task(seed=s) for s in range(2)]
+        with ResultStore(path) as store, TaskQueue(path) as queue:
+            store.put(tasks[0], _result_for(tasks[0]))  # already published
+            queue.enqueue(tasks)
+            stats = drain(store, queue, "w1", idle_exit=0.0, poll_s=0.01)
+            assert stats["deduped"] == 1 and stats["computed"] == 1
+            counts = queue.compute_counts([t.cache_key() for t in tasks])
+            assert counts[tasks[0].cache_key()] == 0  # never recomputed
+            assert counts[tasks[1].cache_key()] == 1
+
+    def test_drain_captures_algorithm_errors_as_failed_rows(self, tmp_path):
+        name = "test-queue-failer"
+
+        @register_algorithm(name, tags=("test",))
+        def _failer(instance: Instance) -> AlgorithmResult:
+            raise ValueError("queue failure")
+
+        try:
+            path = tmp_path / "fail.sqlite"
+            task = _task(algorithm=name)
+            with ResultStore(path) as store, TaskQueue(path) as queue:
+                queue.enqueue([task])
+                stats = drain(store, queue, "w1", idle_exit=0.0, poll_s=0.01)
+                assert stats["failed"] == 1
+                (row,) = queue.rows([task.cache_key()])
+                assert row.status == "failed"
+                assert "queue failure" in row.error
+                assert len(store) == 0  # failures never reach the store
+        finally:
+            unregister_algorithm(name)
+
+    def test_drain_overtime_still_publishes_the_result(self, tmp_path):
+        """Post-hoc timeouts never discard valid work: an overrunning task
+        is published and completed (a failed row would permanently break
+        the key for every submitter), merely counted as overtime."""
+        name = "test-queue-sleeper"
+
+        @register_algorithm(name, tags=("test",))
+        def _sleeper(instance: Instance) -> AlgorithmResult:
+            time.sleep(0.2)
+            _, schedule = greedy_upper_bound(instance)
+            return AlgorithmResult.from_schedule(name, schedule)
+
+        try:
+            path = tmp_path / "timeout.sqlite"
+            task = _task(algorithm=name)
+            with ResultStore(path) as store, TaskQueue(path) as queue:
+                queue.enqueue([task])
+                stats = drain(store, queue, "w1", idle_exit=0.0, poll_s=0.01,
+                              timeout=0.05)
+                assert stats["overtime"] == 1 and stats["computed"] == 1
+                assert stats["failed"] == 0
+                (row,) = queue.rows([task.cache_key()])
+                assert row.status == "done"
+                assert store.get(task) is not None
+        finally:
+            unregister_algorithm(name)
+
+
+class TestCrossProcess:
+    def test_two_subprocess_workers_dedup_on_one_store(self, tmp_path):
+        """The F4 property at test scale: N workers, exactly-once compute.
+
+        Tasks are enqueued first, then two real ``python -m
+        repro.runtime.worker`` processes race to drain them; every key
+        must end ``done`` with ``compute_count == 1`` and the published
+        results must be readable.  Runs comfortably on one CPU (the
+        workers interleave).
+        """
+        path = tmp_path / "shared.sqlite"
+        tasks = [_task(seed=s) for s in range(4)]
+        with TaskQueue(path) as queue:
+            queue.enqueue(tasks)
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro.runtime.worker",
+                 "--store", str(path), "--worker-id", f"w{i}",
+                 "--idle-exit", "1", "--poll-s", "0.02"],
+                env=_src_env(), stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE, text=True)
+            for i in range(2)
+        ]
+        for proc in workers:
+            stdout, stderr = proc.communicate(timeout=60)
+            assert proc.returncode == 0, stderr
+            assert "computed=" in stdout
+        with TaskQueue(path) as queue:
+            assert queue.counts() == {"queued": 0, "leased": 0, "done": 4,
+                                      "failed": 0}
+            counts = queue.compute_counts([t.cache_key() for t in tasks])
+            assert all(c == 1 for c in counts.values()), counts
+        with ResultStore(path) as store:
+            for task in tasks:
+                assert store.get(task) is not None
+
+    def test_worker_crash_requeues_with_exclusion(self, tmp_path):
+        """A worker killed mid-task (os._exit) leaves an expiring lease;
+        reclaim hands the task to the next worker with the dead one
+        excluded."""
+        path = tmp_path / "crash.sqlite"
+        script = textwrap.dedent("""
+            import sys, os, time
+            from repro.algorithms.base import AlgorithmResult
+            from repro.core.instance import Instance
+            from repro.generators import uniform_instance
+            from repro.runtime import BatchTask, register_algorithm
+            from repro.runtime.worker import drain
+            from repro.store import ResultStore, TaskQueue
+
+            @register_algorithm("test-crasher", tags=("test",))
+            def _crasher(instance):
+                os._exit(9)   # simulate an OOM kill / native crash
+
+            path = sys.argv[1]
+            task = BatchTask.make("test-crasher",
+                                  uniform_instance(12, 3, 3, seed=0,
+                                                   integral=True))
+            store = ResultStore(path)
+            queue = TaskQueue(path, lease_s=0.2)
+            queue.enqueue([task])
+            print(task.cache_key())
+            sys.stdout.flush()
+            drain(store, queue, "crashy-worker", idle_exit=0.0, poll_s=0.01)
+        """)
+        proc = subprocess.run([sys.executable, "-c", script, str(path)],
+                              capture_output=True, text=True, env=_src_env(),
+                              timeout=60)
+        assert proc.returncode == 9, proc.stderr  # the worker really died
+        key = proc.stdout.strip()
+        with TaskQueue(path, lease_s=0.2) as queue:
+            (row,) = queue.rows([key])
+            assert row.status == "leased"  # the crash left the lease behind
+            time.sleep(0.25)  # let it expire
+            assert queue.reclaim_expired() == 1
+            (row,) = queue.rows([key])
+            assert row.status == "queued"
+            assert row.excluded_worker == "crashy-worker"
+            assert queue.lease("crashy-worker") is None
+            takeover = queue.lease("healthy-worker")
+            assert takeover is not None and takeover.key == key
