@@ -67,6 +67,7 @@ __all__ = [
     "experiment_f2_batch_throughput",
     "experiment_f3_store_warm_vs_cold",
     "experiment_f4_queue_workers",
+    "experiment_f5_supervisor",
     "result_digest",
 ]
 
@@ -860,6 +861,114 @@ def experiment_f4_queue_workers(scale: str = "quick") -> ResultTable:
 
 
 # ---------------------------------------------------------------------------
+# F5 — supervised worker fleet: autoscaling, crash restarts, budgets
+# ---------------------------------------------------------------------------
+def experiment_f5_supervisor(scale: str = "quick") -> ResultTable:
+    """Supervised chaos fleet vs serial: equality, exactly-once, budgets.
+
+    Runs one deterministic task grid twice:
+
+    * ``serial`` — the in-process :class:`SerialBackend`, the semantic
+      reference;
+    * ``supervised`` — tasks enqueued into a fresh store file's
+      ``task_queue`` with a per-task ``budget_s`` stamped on every row,
+      then drained by a :class:`~repro.runtime.supervisor.Supervisor`
+      managing a fleet of **chaos** workers
+      (``python -m repro.testing.chaos --crash-after 5``, fleet capped at
+      2 — CI runs on 1 CPU): every incarnation computes five tasks and
+      dies, so the run only finishes if crash-restart actually works, and
+      — since 5 never divides the grid — at least one final incarnation
+      survives to be retired idle.
+
+    The acceptance properties of the supervisor layer are measured into
+    the table (and asserted by ``bench_f5_supervisor``):
+    ``digest(supervised) == digest(serial)``, ``duplicate_computes == 0``
+    despite the injected crashes, the supervisor log shows spawns,
+    crash-restarts and an idle retirement, and every result carries the
+    budget its queue row travelled with (``meta["budget_s"]``), none of
+    them blown.
+    """
+    import shutil
+    import tempfile
+
+    from repro.runtime.supervisor import Supervisor
+    from repro.store import ResultStore
+    from repro.store.task_queue import TaskQueue
+
+    quick = scale == "quick"
+    num_instances = 4 if quick else 12
+    n, m, K = (80, 6, 8) if quick else (200, 12, 16)
+    budget_s = 120.0  # generous: honest work must never trip it
+    instances = [uniform_instance(n, m, K, seed=7500 + i, integral=True)
+                 for i in range(num_instances)]
+    tasks = [BatchTask.make(name, inst, kwargs)
+             for inst in instances for name, kwargs in F4_ALGORITHMS]
+
+    table = ResultTable(
+        title="F5: supervised worker fleet — autoscale, crash-restart, budgets",
+        columns=["mode", "max_workers", "tasks", "wall_s", "computed",
+                 "duplicate_computes", "spawned", "crashed", "restarts",
+                 "retired", "budgeted", "over_budget", "digest12"],
+    )
+
+    serial = BatchRunner(max_workers=1, backend="serial", cache=False)
+    serial_batch = serial.run_tasks(tasks).raise_for_failures()
+    serial_digest = result_digest(serial_batch.results)
+    table.add_row(mode="serial", max_workers=0, tasks=len(serial_batch),
+                  wall_s=serial_batch.wall_seconds, computed=len(serial_batch),
+                  duplicate_computes=0, spawned=0, crashed=0, restarts=0,
+                  retired=0, budgeted=0, over_budget=0,
+                  digest12=serial_digest[:12])
+
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-f5-"))
+    store_path = store_dir / "f5_store.sqlite"
+    try:
+        with TaskQueue(store_path, lease_s=30.0) as queue:
+            queue.enqueue(tasks, budgets=[budget_s] * len(tasks))
+        supervisor = Supervisor(
+            store_path, max_workers=2, lease_s=30.0, poll_s=0.05,
+            idle_grace_s=0.3, restart_backoff_s=0.1, restart_cap=60,
+            worker_module="repro.testing.chaos",
+            worker_args=["--crash-after", "5"],
+            worker_idle_exit=2.0, worker_poll_s=0.02)
+        t0 = time.perf_counter()
+        summary = supervisor.run()
+        wall = time.perf_counter() - t0
+        if not summary["drained"]:
+            raise RuntimeError(
+                f"supervisor gave up before draining the queue: {summary}")
+
+        with TaskQueue(store_path, lease_s=30.0) as queue:
+            compute_counts = queue.compute_counts(
+                sorted({t.cache_key() for t in tasks}))
+        with ResultStore(store_path) as store:
+            warm = store.prefetch(tasks)
+        missing = [t.cache_key() for t in tasks if t.cache_key() not in warm]
+        if missing:
+            raise RuntimeError(
+                f"{len(missing)} task(s) never produced a stored result")
+        results = [warm[t.cache_key()] for t in tasks]
+        table.add_row(
+            mode="supervised", max_workers=2, tasks=len(tasks), wall_s=wall,
+            computed=sum(compute_counts.values()),
+            duplicate_computes=sum(max(0, c - 1)
+                                   for c in compute_counts.values()),
+            spawned=summary["spawned"], crashed=summary["crashed"],
+            restarts=summary["restarts"], retired=summary["retired"],
+            budgeted=sum(1 for r in results
+                         if r.meta.get("budget_s") == budget_s),
+            over_budget=sum(1 for r in results if r.meta.get("over_budget")),
+            digest12=result_digest(results)[:12])
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    table.add_note("expected shape: identical digest12 for both modes, "
+                   "duplicate_computes = 0 despite injected crashes, "
+                   "spawned/crashed/restarts/retired all >= 1 on the "
+                   "supervised row, budgeted = tasks, over_budget = 0")
+    return table
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 EXPERIMENTS: Dict[str, Callable[[str], ResultTable]] = {
@@ -876,16 +985,17 @@ EXPERIMENTS: Dict[str, Callable[[str], ResultTable]] = {
     "F2": experiment_f2_batch_throughput,
     "F3": experiment_f3_store_warm_vs_cold,
     "F4": experiment_f4_queue_workers,
+    "F5": experiment_f5_supervisor,
 }
 
 
 def run_experiment(experiment_id: str, scale: str = "quick",
                    store_path: Union[None, str, Path] = None) -> ResultTable:
-    """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``–``"F4"``).
+    """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``–``"F5"``).
 
     ``store_path`` attaches a persistent result store to the shared runner
     (see :func:`get_runner`) so sweep results are reused across processes;
-    F2/F3/F4/E9 manage their own runners and stores by design.
+    F2/F3/F4/F5/E9 manage their own runners and stores by design.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:

@@ -24,7 +24,14 @@ This package turns the loose algorithm functions of
   "queue"``): in-process, chunked process pool, or a distributed SQLite
   work queue drained by ``python -m repro.runtime.worker`` processes
   sharing one store file (leases with expiry, crash requeue with attempt
-  caps, store-mediated exactly-once compute).
+  caps, store-mediated exactly-once compute, per-task ``budget_s``
+  stamped by the submitter and enforced by whichever worker leases the
+  row).
+* :mod:`repro.runtime.supervisor` — ``python -m repro.runtime.supervisor``
+  autoscales the worker fleet: spawn on queue depth, restart crashed
+  workers behind an exponential backoff with a consecutive-crash cap,
+  retire on idle, exit when the queue drains.  Submitters opt in with
+  ``QueueBackend(autoscale=N)`` / ``REPRO_AUTOSCALE=N``.
 
 Quickstart
 ----------
@@ -70,6 +77,18 @@ from repro.runtime.runner import (
     usable_cpus,
 )
 
+
+def __getattr__(name):
+    # Lazy (PEP 562) so `python -m repro.runtime.supervisor` can runpy the
+    # module without this package import having already executed it (the
+    # double-execution RuntimeWarning), and plain `import repro.runtime`
+    # stays free of subprocess machinery.
+    if name in ("Supervisor", "SupervisorPolicy"):
+        from repro.runtime import supervisor
+
+        return getattr(supervisor, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AlgorithmSpec",
     "register_algorithm",
@@ -88,4 +107,6 @@ __all__ = [
     "PoolBackend",
     "QueueBackend",
     "BACKENDS",
+    "Supervisor",
+    "SupervisorPolicy",
 ]

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import os
 import time
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.runtime.backends.base import ExecutionBackend, run_one
 from repro.store.task_queue import LeasedTask, TaskQueue
@@ -37,6 +38,11 @@ if TYPE_CHECKING:
     from repro.store import ResultStore
 
 __all__ = ["QueueBackend", "process_lease"]
+
+#: Stat-dict keys every drain loop (worker CLI, chaos worker) reports —
+#: defined next to :func:`process_lease`, whose outcomes they count, so
+#: the implementations can never drift.
+_WORKER_STATS_KEYS = ("computed", "deduped", "failed", "overtime")
 
 
 def process_lease(store: "ResultStore", queue: TaskQueue, leased: LeasedTask,
@@ -52,6 +58,15 @@ def process_lease(store: "ResultStore", queue: TaskQueue, leased: LeasedTask,
     result, ``("computed", result, elapsed)`` on success (the result is
     already published), or ``("failed", message, elapsed)`` for a
     captured algorithm error (the row is already marked failed).
+
+    A ``budget_s`` riding on the lease (stamped by the submitter, see
+    :meth:`TaskQueue.enqueue`) is enforced here, post-hoc: the budget is
+    surfaced in ``result.meta["budget_s"]`` before the result is
+    published, with ``meta["over_budget"]`` / ``meta["budget_elapsed_s"]``
+    added when the task blew it.  The overrunning result is still
+    published and completed — the work is already done, and a failed row
+    would permanently break the key for every submitter sharing the
+    queue.
     """
     if store.contains(leased.key):
         # Store-mediated dedup: someone already published this key
@@ -64,6 +79,11 @@ def process_lease(store: "ResultStore", queue: TaskQueue, leased: LeasedTask,
                               task.kwargs_dict())
     elapsed = time.perf_counter() - t0
     if status == "ok":
+        if leased.budget_s is not None:
+            payload.meta["budget_s"] = leased.budget_s
+            if elapsed > leased.budget_s:
+                payload.meta["over_budget"] = True
+                payload.meta["budget_elapsed_s"] = elapsed
         store.put(task, payload)
         queue.complete(leased.key, worker_id, computed=True)
         return ("computed", payload, elapsed)
@@ -95,6 +115,24 @@ class QueueBackend(ExecutionBackend):
     worker_id:
         Drain-loop identity of the submitting process (defaults to
         ``inline-<pid>``); shows up in queue rows it computes.
+    autoscale:
+        Close the loop to "as fast as the hardware allows": a positive
+        worker count (or ``True`` for the usable-CPU count) makes every
+        :meth:`submit` spawn a ``python -m repro.runtime.supervisor``
+        subprocess that watches the queue and manages a worker fleet of
+        up to that many processes for the duration of the batch — one
+        knob replaces starting workers by hand.  ``None`` (the default)
+        reads the ``REPRO_AUTOSCALE`` environment variable (an integer;
+        unset/empty/``0`` disables autoscaling).
+    budget_factor / min_budget_s:
+        Policy for the per-task ``budget_s`` stamped on enqueued rows.
+        With the runner's ``timeout`` set, that value is the budget for
+        every task (an explicit latency policy wins).  Otherwise, a
+        fitted cost model predicts each task's runtime and the budget is
+        ``max(min_budget_s, budget_factor × predicted)`` — generous
+        enough that honest variance never trips it, tight enough that a
+        pathological task is flagged.  Without either, rows travel
+        unbudgeted.
     """
 
     name = "queue"
@@ -103,13 +141,49 @@ class QueueBackend(ExecutionBackend):
     def __init__(self, runner: "BatchRunner", *, lease_s: float = 60.0,
                  poll_s: float = 0.05, inline: bool = True,
                  stall_timeout_s: Optional[float] = None,
-                 worker_id: Optional[str] = None) -> None:
+                 worker_id: Optional[str] = None,
+                 autoscale: Union[None, bool, int] = None,
+                 budget_factor: float = 8.0,
+                 min_budget_s: float = 1.0) -> None:
         super().__init__(runner)
         self.lease_s = float(lease_s)
         self.poll_s = float(poll_s)
         self.inline = bool(inline)
         self.stall_timeout_s = stall_timeout_s
         self.worker_id = worker_id or f"inline-{os.getpid()}"
+        self.autoscale = self._resolve_autoscale(autoscale)
+        self.budget_factor = float(budget_factor)
+        self.min_budget_s = float(min_budget_s)
+
+    @staticmethod
+    def _resolve_autoscale(autoscale: Union[None, bool, int]) -> int:
+        if autoscale is None:
+            raw = os.environ.get("REPRO_AUTOSCALE", "").strip()
+            if not raw:
+                return 0
+            try:
+                autoscale = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_AUTOSCALE must be an integer worker count, "
+                    f"got {raw!r}") from None
+        if autoscale is True:
+            from repro.runtime.runner import usable_cpus
+            return usable_cpus()
+        return max(0, int(autoscale))
+
+    def _budget_for(self, task: "BatchTask") -> Optional[float]:
+        """The wall-clock budget to stamp on this task's queue row."""
+        runner = self.runner
+        if runner.timeout is not None:
+            return float(runner.timeout)
+        model = runner.cost_model()
+        if model is None:
+            return None
+        predicted = model.predict_task(task)
+        if predicted is None:
+            return None
+        return max(self.min_budget_s, self.budget_factor * float(predicted))
 
     def submit(self, tasks: Sequence["BatchTask"]
                ) -> Iterator[Tuple[int, "AlgorithmResult"]]:
@@ -125,9 +199,22 @@ class QueueBackend(ExecutionBackend):
         queue = TaskQueue(store.path, lease_s=self.lease_s)
         unresolved = dict(by_key)  # key -> indices still awaiting a result
         armed: set = set()  # keys *we* queued (ok to cancel on early exit)
+        # Budgets travel with the rows: the submitter's policy (explicit
+        # timeout, else cost-model prediction) is computed once per key
+        # here and enforced by whichever worker leases the row.
+        budget_by_key: Dict[str, Optional[float]] = {
+            key: self._budget_for(tasks[indices[0]])
+            for key, indices in by_key.items()}
+        supervisor = None
         try:
-            armed = set(queue.enqueue([tasks[indices[0]]
-                                       for indices in by_key.values()]))
+            first = [tasks[indices[0]] for indices in by_key.values()]
+            armed = set(queue.enqueue(
+                first, budgets=[budget_by_key[t.cache_key()] for t in first]))
+            if self.autoscale > 0:
+                from repro.runtime.supervisor import spawn_supervisor
+                supervisor = spawn_supervisor(store.path,
+                                              max_workers=self.autoscale,
+                                              lease_s=self.lease_s)
             last_progress = time.monotonic()
             while unresolved:
                 progressed = False
@@ -180,7 +267,8 @@ class QueueBackend(ExecutionBackend):
                                 if key not in present]
                     if vanished:
                         armed.update(queue.enqueue(
-                            [tasks[unresolved[key][0]] for key in vanished]))
+                            [tasks[unresolved[key][0]] for key in vanished],
+                            budgets=[budget_by_key[key] for key in vanished]))
                         progressed = True
 
                 # Drain one task ourselves (possibly someone else's — the
@@ -197,6 +285,26 @@ class QueueBackend(ExecutionBackend):
                 if progressed:
                     last_progress = time.monotonic()
                     continue
+                if supervisor is not None:
+                    # The fleet manager is our only compute when
+                    # inline=False: a supervisor that gave up (crash-loop
+                    # cap, rc 1) or died must surface, not leave this
+                    # loop polling an un-drainable queue forever.
+                    rc = supervisor.poll()
+                    if rc is not None and rc != 0:
+                        raise RuntimeError(
+                            f"the autoscaling supervisor exited rc={rc} "
+                            f"without draining the queue; "
+                            f"{len(unresolved)} key(s) outstanding "
+                            f"(see its log on stderr)")
+                    if rc == 0 and queue.outstanding() > 0:
+                        # It drained and exited — but work re-armed *after*
+                        # that (an evicted done-row requeue, a vanished-key
+                        # re-enqueue above) still needs a fleet.
+                        from repro.runtime.supervisor import spawn_supervisor
+                        supervisor = spawn_supervisor(
+                            store.path, max_workers=self.autoscale,
+                            lease_s=self.lease_s)
                 if (self.stall_timeout_s is not None
                         and time.monotonic() - last_progress > self.stall_timeout_s):
                     raise RuntimeError(
@@ -213,6 +321,16 @@ class QueueBackend(ExecutionBackend):
             if leftovers:
                 queue.cancel_queued(leftovers)
             queue.close()
+            if supervisor is not None:
+                # The supervisor exits by itself once the queue drains; a
+                # batch abandoned early still must not leak the fleet.
+                # SIGTERM is handled there: its workers are reaped first.
+                supervisor.terminate()
+                try:
+                    supervisor.wait(timeout=30)
+                except Exception:  # pragma: no cover - last resort
+                    supervisor.kill()
+                    supervisor.wait(timeout=10)  # reap: no zombie child
 
     # ------------------------------------------------------------------
     # inline drain

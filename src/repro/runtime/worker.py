@@ -4,7 +4,6 @@
 
     python -m repro.runtime.worker --store PATH [--worker-id ID]
         [--lease-s S] [--poll-s S] [--idle-exit S] [--max-tasks N]
-        [--timeout S]
 
 A worker is the distributed half of the ``"queue"`` execution backend:
 it opens the shared store file, leases tasks from the ``task_queue``
@@ -13,8 +12,18 @@ backend uses, and writes successful results into the
 :class:`~repro.store.result_store.ResultStore` — where the submitting
 :class:`~repro.runtime.backends.queue.QueueBackend` (and any warm re-run
 forever after) picks them up.  Start as many workers against one store
-file as you have cores; the lease protocol keeps them from stepping on
-each other and ``compute_count`` proves no key is ever computed twice.
+file as you have cores — or let ``python -m repro.runtime.supervisor``
+start them for you — the lease protocol keeps them from stepping on each
+other and ``compute_count`` proves no key is ever computed twice.
+
+Per-task budgets travel **in the queue**, not on the worker: the
+submitter stamps each row with a ``budget_s`` (typically derived from
+the cost model) and whichever worker leases the row enforces it.  The
+check is post-hoc — an in-process task cannot be interrupted — so an
+overrunning task's (valid) result is still published, with the budget
+surfaced in ``result.meta["budget_s"]`` / ``meta["over_budget"]`` and
+the overrun counted in the drain stats.  There is deliberately no
+``--timeout`` flag to keep in sync across a fleet.
 
 Exit conditions: ``--max-tasks`` processed, or nothing claimable for
 ``--idle-exit`` seconds (pass ``--idle-exit 0`` to exit on the first idle
@@ -32,9 +41,8 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.runtime.backends.queue import process_lease
-from repro.store import ResultStore
-from repro.store.task_queue import TaskQueue
+from repro.runtime.backends.queue import _WORKER_STATS_KEYS, process_lease
+from repro.store import ResultStore, TaskQueue
 
 __all__ = ["main", "drain"]
 
@@ -56,29 +64,23 @@ def _build_parser() -> argparse.ArgumentParser:
                              "claimable (default: 10)")
     parser.add_argument("--max-tasks", type=int, default=None,
                         help="exit after processing this many leases")
-    parser.add_argument("--timeout", type=float, default=None,
-                        help="per-task budget; the check is post-hoc, so an "
-                             "overrunning task's (valid) result is still "
-                             "published — it is merely counted as overtime "
-                             "in the summary")
     return parser
 
 
 def drain(store: ResultStore, queue: TaskQueue, worker_id: str, *,
           poll_s: float = 0.05, idle_exit: Optional[float] = 10.0,
-          max_tasks: Optional[int] = None,
-          timeout: Optional[float] = None) -> dict:
+          max_tasks: Optional[int] = None) -> dict:
     """The worker loop (importable for in-process tests).
 
     Returns drain statistics: ``computed`` (tasks actually run),
     ``deduped`` (leases completed from an already-stored result),
     ``failed`` (captured algorithm errors), ``overtime`` (tasks that blew
-    ``timeout`` — their results are published anyway: the check is
-    post-hoc, the work is already done, and discarding a valid result
-    would permanently fail the key for every submitter sharing the
-    queue).
+    the ``budget_s`` their queue row carried — their results are
+    published anyway: the check is post-hoc, the work is already done,
+    and discarding a valid result would permanently fail the key for
+    every submitter sharing the queue).
     """
-    stats = {"computed": 0, "deduped": 0, "failed": 0, "overtime": 0}
+    stats = dict.fromkeys(_WORKER_STATS_KEYS, 0)
     idle_since = time.monotonic()
     while True:
         queue.reclaim_expired()
@@ -89,11 +91,12 @@ def drain(store: ResultStore, queue: TaskQueue, worker_id: str, *,
                 return stats
             time.sleep(poll_s)
             continue
-        outcome, _payload, elapsed = process_lease(store, queue, leased,
+        outcome, payload, _elapsed = process_lease(store, queue, leased,
                                                    worker_id)
         stats[outcome] += 1
-        if (outcome == "computed" and timeout is not None
-                and elapsed > timeout):
+        # process_lease is the single budget judge; its meta verdict is
+        # the one the submitter will see, so it is the one counted here.
+        if outcome == "computed" and payload.meta.get("over_budget"):
             stats["overtime"] += 1
         idle_since = time.monotonic()
         total = stats["computed"] + stats["deduped"] + stats["failed"]
@@ -108,8 +111,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     queue = TaskQueue(args.store, lease_s=args.lease_s)
     try:
         stats = drain(store, queue, worker_id, poll_s=args.poll_s,
-                      idle_exit=args.idle_exit, max_tasks=args.max_tasks,
-                      timeout=args.timeout)
+                      idle_exit=args.idle_exit, max_tasks=args.max_tasks)
     finally:
         queue.close()
         store.close()

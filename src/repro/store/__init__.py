@@ -37,7 +37,8 @@ Quickstart
 
 from repro.store.cost_model import DEFAULT_COST_FEATURES, CostModel
 from repro.store.result_store import SCHEMA_VERSION, ResultStore, StoreRecord
-from repro.store.task_queue import LeasedTask, QueueRow, TaskQueue
+from repro.store.task_queue import (QUEUE_SCHEMA_VERSION, LeasedTask,
+                                    QueueRow, TaskQueue)
 
 __all__ = [
     "ResultStore",
@@ -45,6 +46,7 @@ __all__ = [
     "CostModel",
     "DEFAULT_COST_FEATURES",
     "SCHEMA_VERSION",
+    "QUEUE_SCHEMA_VERSION",
     "TaskQueue",
     "LeasedTask",
     "QueueRow",

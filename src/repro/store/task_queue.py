@@ -39,6 +39,26 @@ Row lifecycle
   (``compute_count`` stays put).  ``compute_count`` records how many times
   a key was actually computed across all workers — the dedup guarantee is
   ``compute_count == 1`` for every key, which the F4 benchmark asserts.
+* **Budgets travel with the work.**  The submitter may stamp each row
+  with a ``budget_s`` wall-clock budget (typically derived from the
+  fitted cost model); whichever worker leases the row enforces it —
+  post-hoc, since an in-process task cannot be interrupted — surfacing
+  ``budget_s`` / ``over_budget`` in the result's ``meta`` and counting
+  the overrun in its drain stats.  No per-worker ``--timeout`` flag has
+  to be kept in sync across a fleet.
+
+Schema versioning
+-----------------
+
+The table layout is stamped into a ``task_queue_meta`` row
+(:data:`QUEUE_SCHEMA_VERSION`).  Opening a file whose queue predates the
+current layout (or whose columns drifted) triggers a **self-healing
+migration**: the ``results`` table — real computed value — is never
+touched; queue rows are salvaged where possible, with finished ``done``
+rows preserved (their ``compute_count`` history included) and all
+in-flight rows re-armed as fresh ``queued`` work.  Queue rows are cheap
+coordination state, so when even salvage fails the queue rebuilds empty
+rather than refusing to open.
 """
 
 from __future__ import annotations
@@ -48,19 +68,28 @@ import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
+                    Union)
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep the package cheap
     from repro.runtime.runner import BatchTask
 
-__all__ = ["TaskQueue", "LeasedTask", "QueueRow"]
+__all__ = ["TaskQueue", "LeasedTask", "QueueRow", "QUEUE_SCHEMA_VERSION"]
+
+#: Bump when the ``task_queue`` layout changes; older queues are migrated
+#: (rows salvaged, in-flight work re-armed) on open.  Version 2 added the
+#: per-task ``budget_s`` column.
+QUEUE_SCHEMA_VERSION = 2
 
 #: SQLite caps host parameters per statement (999 on older builds); bulk
 #: SELECTs are chunked below this (matches result_store._MAX_SQL_PARAMS).
 _MAX_SQL_PARAMS = 500
 
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS task_queue (
+#: Kept as individual statements so the migration can replay them inside
+#: one explicit transaction (``executescript`` would issue an implicit
+#: COMMIT and make a mid-migration crash lose the salvaged rows).
+_SCHEMA_STATEMENTS = (
+    """CREATE TABLE IF NOT EXISTS task_queue (
     key             TEXT PRIMARY KEY,
     task_payload    BLOB NOT NULL,
     status          TEXT NOT NULL DEFAULT 'queued',
@@ -70,12 +99,27 @@ CREATE TABLE IF NOT EXISTS task_queue (
     compute_count   INTEGER NOT NULL DEFAULT 0,
     excluded_worker TEXT,
     error           TEXT,
+    budget_s        REAL,
     enqueued_at     REAL NOT NULL,
     updated_at      REAL NOT NULL
-);
-CREATE INDEX IF NOT EXISTS idx_task_queue_status
-    ON task_queue (status, enqueued_at);
-"""
+)""",
+    """CREATE INDEX IF NOT EXISTS idx_task_queue_status
+    ON task_queue (status, enqueued_at)""",
+    """CREATE TABLE IF NOT EXISTS task_queue_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+)""",
+)
+
+_SCHEMA = ";\n".join(_SCHEMA_STATEMENTS) + ";"
+
+#: The column set the current schema version expects; any drift (missing
+#: ``budget_s`` on a pre-v2 file, columns from some future layout) routes
+#: the open through the migration path.
+_EXPECTED_COLUMNS = frozenset({
+    "key", "task_payload", "status", "owner", "lease_expires_at", "attempts",
+    "compute_count", "excluded_worker", "error", "budget_s", "enqueued_at",
+    "updated_at"})
 
 
 @dataclass(frozen=True)
@@ -85,6 +129,7 @@ class LeasedTask:
     key: str
     task: "BatchTask"
     attempts: int
+    budget_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -98,6 +143,7 @@ class QueueRow:
     compute_count: int
     excluded_worker: Optional[str]
     error: Optional[str]
+    budget_s: Optional[float] = None
 
 
 class TaskQueue:
@@ -117,13 +163,19 @@ class TaskQueue:
         exactly-once-compute economy).
     max_attempts:
         Leases a task may consume before it is declared ``failed``.
+    clock:
+        Time source for every ``now`` default (``time.time`` unless
+        overridden).  Tests inject a
+        :class:`~repro.testing.clock.FakeClock` here so lease expiry is
+        driven by advancing a number, not by sleeping.
 
     One ``TaskQueue`` instance must not be shared across processes — open
     the same *file* from each process (exactly like ``ResultStore``).
     """
 
     def __init__(self, path: Union[str, Path], *, lease_s: float = 60.0,
-                 max_attempts: int = 3) -> None:
+                 max_attempts: int = 3,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         if lease_s <= 0:
             raise ValueError("lease_s must be > 0")
         if max_attempts < 1:
@@ -131,12 +183,109 @@ class TaskQueue:
         self.path = Path(path)
         self.lease_s = float(lease_s)
         self.max_attempts = int(max_attempts)
+        self._clock: Callable[[], float] = clock if clock is not None else time.time
+        #: Whether opening this file migrated (rebuilt) an outdated queue.
+        self.migrated = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(str(self.path), timeout=30.0)
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+        self._ensure_schema()
+
+    # ------------------------------------------------------------------
+    # schema lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_schema(self) -> None:
+        """Create the queue tables, migrating an outdated layout in place.
+
+        The store's ``results`` table shares this file and is *never*
+        touched here: queue rows are disposable coordination state,
+        computed results are not.
+        """
+        columns = {row[1] for row in
+                   self._conn.execute("PRAGMA table_info(task_queue)")}
+        if not columns:
+            self._conn.executescript(_SCHEMA)
+            self._stamp_version()
+            self._conn.commit()
+            return
+        if columns == _EXPECTED_COLUMNS and self._stored_version() == QUEUE_SCHEMA_VERSION:
+            return
+        self._migrate(columns)
+
+    def _stored_version(self) -> Optional[int]:
+        try:
+            row = self._conn.execute(
+                "SELECT value FROM task_queue_meta"
+                " WHERE key = 'queue_schema_version'").fetchone()
+            return int(row[0]) if row is not None else None
+        except (sqlite3.Error, ValueError):
+            return None  # pre-versioning file (or mangled meta): migrate
+
+    def _stamp_version(self) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO task_queue_meta (key, value)"
+            " VALUES ('queue_schema_version', ?)", (str(QUEUE_SCHEMA_VERSION),))
+
+    def _migrate(self, columns: set) -> None:
+        """Rebuild an outdated ``task_queue``, salvaging what rows allow.
+
+        Finished work is preserved: ``done`` rows keep their status and
+        ``compute_count`` history (their results live in the store, which
+        this migration never touches).  Everything else — queued, leased,
+        failed — is re-armed as fresh ``queued`` work with a full attempt
+        budget: the old file's in-flight bookkeeping (owners, leases,
+        exclusions) referred to workers that no longer exist.  A file too
+        mangled to salvage rebuilds the queue empty; refusing to open
+        would turn stale coordination state into an outage.
+        """
+        now = self._clock()
+        salvage_cols = [c for c in ("key", "task_payload", "status",
+                                    "compute_count", "enqueued_at")
+                        if c in columns]
+        rows: List[dict] = []
+        if {"key", "task_payload", "status"} <= columns:
+            try:
+                for raw in self._conn.execute(
+                        f"SELECT {', '.join(salvage_cols)} FROM task_queue"
+                        f" ORDER BY rowid ASC"):
+                    rows.append(dict(zip(salvage_cols, raw)))
+            except sqlite3.Error:
+                rows = []
+        def _rebuild(salvaged: List[dict]) -> None:
+            # One explicit transaction end to end: drop, recreate, salvage,
+            # stamp.  A crash anywhere rolls the file back to the old
+            # layout, which the next open simply migrates again — rows are
+            # never half-lost.  (Python's sqlite3 autocommits DDL outside
+            # an explicit transaction, so BEGIN IMMEDIATE, not `with`.)
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute("DROP TABLE IF EXISTS task_queue")
+                for statement in _SCHEMA_STATEMENTS:
+                    self._conn.execute(statement)
+                for row in salvaged:
+                    done = row["status"] == "done"
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO task_queue"
+                        " (key, task_payload, status, compute_count,"
+                        "  enqueued_at, updated_at)"
+                        " VALUES (?, ?, ?, ?, ?, ?)",
+                        (row["key"], row["task_payload"],
+                         "done" if done else "queued",
+                         int(row.get("compute_count") or 0),
+                         float(row.get("enqueued_at") or now), now))
+                self._stamp_version()
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+        try:
+            _rebuild(rows)
+        except sqlite3.Error:
+            # Salvage itself failed mid-write: last resort, empty queue.
+            _rebuild([])
+        self.migrated = True
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -157,37 +306,53 @@ class TaskQueue:
     # producer side
     # ------------------------------------------------------------------
     def enqueue(self, tasks: Sequence["BatchTask"], *,
+                budgets: Optional[Sequence[Optional[float]]] = None,
                 now: Optional[float] = None) -> List[str]:
         """Add tasks to the queue, deduplicating by cache key.
 
         A key that is already queued, leased, or done is left untouched
-        (someone is on it, or the result is already published); a key that
+        (someone is on it, or the result is already published — including
+        its budget: the first submitter's policy stands); a key that
         previously *failed* is re-armed with a fresh attempt budget — an
         explicit re-submission is the caller's way of saying "try again".
+        ``budgets`` optionally aligns a per-task wall-clock budget (in
+        seconds, ``None`` for unbudgeted) with ``tasks``; the budget is
+        stored on the row and enforced by whichever worker leases it.
+        Omitting ``budgets`` entirely leaves a re-armed failed row's
+        existing budget in place (the budget describes the task, not the
+        attempt — same rule as :meth:`requeue`); passing ``budgets``
+        overwrites it, ``None`` entries included.
         Returns the keys this call armed (became ``queued``); keys some
         other submitter already owns are *not* in the list, which is what
         lets a submitter later cancel only its own unclaimed work.
         """
-        now = time.time() if now is None else now
+        if budgets is not None and len(budgets) != len(tasks):
+            raise ValueError("budgets must align 1:1 with tasks")
+        now = self._clock() if now is None else now
         armed: List[str] = []
         with self._conn:
-            for task in tasks:
+            for pos, task in enumerate(tasks):
                 key = task.cache_key()
+                budget = budgets[pos] if budgets is not None else None
+                budget = float(budget) if budget is not None else None
                 payload = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
                 cur = self._conn.execute(
                     "INSERT OR IGNORE INTO task_queue"
-                    " (key, task_payload, status, enqueued_at, updated_at)"
-                    " VALUES (?, ?, 'queued', ?, ?)",
-                    (key, payload, now, now))
+                    " (key, task_payload, status, budget_s, enqueued_at,"
+                    "  updated_at)"
+                    " VALUES (?, ?, 'queued', ?, ?, ?)",
+                    (key, payload, budget, now, now))
                 if cur.rowcount:
                     armed.append(key)
                     continue
                 cur = self._conn.execute(
                     "UPDATE task_queue SET status = 'queued', attempts = 0,"
                     " owner = NULL, lease_expires_at = NULL, error = NULL,"
-                    " excluded_worker = NULL, updated_at = ?"
+                    " excluded_worker = NULL,"
+                    " budget_s = CASE WHEN ? THEN ? ELSE budget_s END,"
+                    " updated_at = ?"
                     " WHERE key = ? AND status = 'failed'",
-                    (now, key))
+                    (1 if budgets is not None else 0, budget, now, key))
                 if cur.rowcount:
                     armed.append(key)
         return armed
@@ -200,10 +365,11 @@ class TaskQueue:
         since vanished from the result store (size/age eviction, or the
         version purge on a ``repro`` upgrade): without it the row would
         block re-submission forever — nothing claimable, nothing stored.
-        Resets the attempt budget; in-flight (``queued``/``leased``) rows
-        are left alone.
+        Resets the attempt budget (the wall-clock ``budget_s`` is kept —
+        it describes the task, not the attempt); in-flight
+        (``queued``/``leased``) rows are left alone.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         changed = 0
         with self._conn:
             for lo in range(0, len(keys), _MAX_SQL_PARAMS):
@@ -258,11 +424,11 @@ class TaskQueue:
         the deterministic tie-break.  ``BEGIN IMMEDIATE`` takes the
         write lock up front so two workers can never claim the same row.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         self._conn.execute("BEGIN IMMEDIATE")
         try:
             row = self._conn.execute(
-                "SELECT key, task_payload, attempts FROM task_queue"
+                "SELECT key, task_payload, attempts, budget_s FROM task_queue"
                 " WHERE (status = 'queued'"
                 "        OR (status = 'leased' AND lease_expires_at <= ?"
                 "            AND owner != ?))"
@@ -275,7 +441,7 @@ class TaskQueue:
             if row is None:
                 self._conn.execute("COMMIT")
                 return None
-            key, payload, attempts = row
+            key, payload, attempts, budget_s = row
             self._conn.execute(
                 "UPDATE task_queue SET status = 'leased', owner = ?,"
                 " lease_expires_at = ?, attempts = ?, updated_at = ?"
@@ -286,7 +452,7 @@ class TaskQueue:
             self._conn.execute("ROLLBACK")
             raise
         return LeasedTask(key=key, task=pickle.loads(payload),
-                          attempts=attempts + 1)
+                          attempts=attempts + 1, budget_s=budget_s)
 
     def complete(self, key: str, worker_id: str, *, computed: bool,
                  now: Optional[float] = None) -> None:
@@ -298,7 +464,7 @@ class TaskQueue:
         worker re-leased the row) still reports a correct outcome —
         last-writer-wins on identical content is harmless.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         with self._conn:
             self._conn.execute(
                 "UPDATE task_queue SET status = 'done', owner = ?,"
@@ -316,7 +482,7 @@ class TaskQueue:
         nothing.  Crash-shaped failures go through lease expiry and
         :meth:`reclaim_expired` instead, which does retry.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         with self._conn:
             self._conn.execute(
                 "UPDATE task_queue SET status = 'failed', owner = ?,"
@@ -331,7 +497,7 @@ class TaskQueue:
         does not immediately re-claim the task it died on.  Returns the
         number of rows whose state changed.
         """
-        now = time.time() if now is None else now
+        now = self._clock() if now is None else now
         changed = 0
         with self._conn:
             cur = self._conn.execute(
@@ -357,7 +523,7 @@ class TaskQueue:
     def rows(self, keys: Optional[Sequence[str]] = None) -> List[QueueRow]:
         """Queue-state snapshots, for ``keys`` or the whole table."""
         sql = ("SELECT key, status, owner, attempts, compute_count,"
-               " excluded_worker, error FROM task_queue")
+               " excluded_worker, error, budget_s FROM task_queue")
         out: List[QueueRow] = []
         if keys is None:
             for row in self._conn.execute(sql + " ORDER BY key ASC"):

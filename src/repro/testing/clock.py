@@ -1,0 +1,50 @@
+"""A deterministic clock for lease-expiry and scaling-decision tests."""
+
+from __future__ import annotations
+
+__all__ = ["FakeClock"]
+
+
+class FakeClock:
+    """Time that only moves when the test says so.
+
+    One instance stands in for ``time.time``, ``time.monotonic`` *and*
+    ``time.sleep`` at once: components that take a ``clock=`` callable
+    (:class:`~repro.store.task_queue.TaskQueue`,
+    :class:`~repro.runtime.supervisor.SupervisorPolicy`) accept the
+    instance itself (it is callable), and code written against
+    ``clock.sleep`` advances the same timeline instead of blocking.
+
+    >>> clock = FakeClock(100.0)
+    >>> clock()
+    100.0
+    >>> clock.sleep(5)
+    >>> clock.monotonic()
+    105.0
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def time(self) -> float:
+        return self._now
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += float(seconds)
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """A 'sleep' that costs nothing but advances the timeline."""
+        self.advance(seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FakeClock(now={self._now})"

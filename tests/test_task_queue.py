@@ -9,15 +9,25 @@ The contracts that matter for N workers sharing one store file:
 * dedup is store-mediated: a key whose result is already published is
   completed without computing, so ``compute_count == 1`` for every key no
   matter how many workers drain the queue (verified across real
-  subprocesses below; everything passes on a 1-CPU container).
+  subprocesses below; everything passes on a 1-CPU container);
+* budgets travel with the work: the submitter stamps ``budget_s`` on the
+  row, whichever worker leases it enforces it (post-hoc, result still
+  published, overrun surfaced in the result meta);
+* an outdated on-disk queue schema self-heals on open, preserving store
+  results and re-arming in-flight work.
+
+Faults are injected with ``repro.testing`` (chaos workers, FakeClock) —
+no ``time.sleep``-based assertions: lease expiry is driven by advancing
+an injected clock or passing explicit ``now`` values.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import sqlite3
 import subprocess
 import sys
-import textwrap
 import time
 
 import pytest
@@ -28,7 +38,8 @@ from repro.core.instance import Instance
 from repro.generators import uniform_instance
 from repro.runtime import BatchTask, register_algorithm, unregister_algorithm
 from repro.runtime.worker import drain
-from repro.store import ResultStore, TaskQueue
+from repro.store import QUEUE_SCHEMA_VERSION, ResultStore, TaskQueue
+from repro.testing import FakeClock
 
 
 def _task(seed: int = 0, algorithm: str = "class-aware-greedy") -> BatchTask:
@@ -135,6 +146,93 @@ class TestQueueBasics:
             queue.cancel_queued(keys)
             statuses = {row.key: row.status for row in queue.rows()}
             assert statuses == {leased.key: "leased"}  # queued rows dropped
+
+
+class TestBudgets:
+    """Per-task ``budget_s`` travels on the queue row, not on the worker."""
+
+    def test_budget_travels_from_enqueue_to_lease(self, tmp_path):
+        tasks = [_task(seed=s) for s in range(2)]
+        with TaskQueue(tmp_path / "b.sqlite") as queue:
+            queue.enqueue(tasks, budgets=[2.5, None])
+            by_key = {r.key: r for r in queue.rows()}
+            assert by_key[tasks[0].cache_key()].budget_s == 2.5
+            assert by_key[tasks[1].cache_key()].budget_s is None
+            first = queue.lease("w1")
+            assert first.key == tasks[0].cache_key()
+            assert first.budget_s == 2.5
+            assert queue.lease("w1").budget_s is None
+
+    def test_budgets_must_align_with_tasks(self, tmp_path):
+        with TaskQueue(tmp_path / "b.sqlite") as queue:
+            with pytest.raises(ValueError):
+                queue.enqueue([_task()], budgets=[1.0, 2.0])
+
+    def test_enqueue_rearm_of_failed_row_updates_budget(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "b.sqlite") as queue:
+            queue.enqueue([task], budgets=[1.0])
+            leased = queue.lease("w1")
+            queue.fail(leased.key, "w1", "ValueError: nope")
+            assert queue.enqueue([task], budgets=[9.0]) == [leased.key]
+            (row,) = queue.rows([leased.key])
+            assert row.status == "queued" and row.budget_s == 9.0
+
+    def test_budgetless_rearm_of_failed_row_keeps_the_budget(self, tmp_path):
+        """A bare re-submission must not strip the task's budget — the
+        budget describes the task, not the attempt (same rule requeue
+        follows for done rows)."""
+        task = _task()
+        with TaskQueue(tmp_path / "b.sqlite") as queue:
+            queue.enqueue([task], budgets=[7.0])
+            leased = queue.lease("w1")
+            queue.fail(leased.key, "w1", "ValueError: nope")
+            assert queue.enqueue([task]) == [leased.key]  # no budgets kwarg
+            (row,) = queue.rows([leased.key])
+            assert row.status == "queued" and row.budget_s == 7.0
+
+    def test_first_submitters_budget_wins_while_row_is_live(self, tmp_path):
+        task = _task()
+        with TaskQueue(tmp_path / "b.sqlite") as queue:
+            queue.enqueue([task], budgets=[3.0])
+            assert queue.enqueue([task], budgets=[99.0]) == []
+            (row,) = queue.rows([task.cache_key()])
+            assert row.budget_s == 3.0
+
+    def test_requeue_keeps_the_budget(self, tmp_path):
+        """The budget describes the task, not the attempt: a re-armed done
+        row (store-evicted result) is recomputed under the same budget."""
+        task = _task()
+        with TaskQueue(tmp_path / "b.sqlite") as queue:
+            queue.enqueue([task], budgets=[4.0])
+            leased = queue.lease("w1")
+            queue.complete(leased.key, "w1", computed=True)
+            assert queue.requeue([leased.key]) == 1
+            assert queue.lease("w2").budget_s == 4.0
+
+
+class TestFakeClock:
+    """Lease expiry driven entirely by an injected clock — zero sleeps."""
+
+    def test_injected_clock_drives_lease_expiry(self, tmp_path):
+        clock = FakeClock(100.0)
+        task = _task()
+        with TaskQueue(tmp_path / "c.sqlite", lease_s=10.0,
+                       clock=clock) as queue:
+            queue.enqueue([task])
+            leased = queue.lease("w1")
+            assert queue.reclaim_expired() == 0  # lease still live
+            clock.advance(9.0)
+            assert queue.reclaim_expired() == 0  # 9s in: still live
+            clock.advance(2.0)
+            assert queue.reclaim_expired() == 1  # 11s in: expired
+            (row,) = queue.rows([leased.key])
+            assert row.status == "queued"
+            assert row.excluded_worker == "w1"
+            # The exclusion grace is clock-driven too.
+            assert queue.lease("w1") is None
+            clock.advance(10.5)
+            assert queue.lease("w1") is not None
 
 
 class TestLeaseExpiry:
@@ -248,30 +346,39 @@ class TestWorkerDrain:
         finally:
             unregister_algorithm(name)
 
-    def test_drain_overtime_still_publishes_the_result(self, tmp_path):
-        """Post-hoc timeouts never discard valid work: an overrunning task
-        is published and completed (a failed row would permanently break
-        the key for every submitter), merely counted as overtime."""
+    def test_drain_enforces_the_rows_travelling_budget(self, tmp_path):
+        """Budgets ride the queue row, not a worker flag: a task whose
+        ``budget_s`` is blown is still published and completed (post-hoc
+        check — a failed row would permanently break the key for every
+        submitter), counted as overtime, with the budget surfaced in the
+        result meta."""
         name = "test-queue-sleeper"
 
         @register_algorithm(name, tags=("test",))
         def _sleeper(instance: Instance) -> AlgorithmResult:
-            time.sleep(0.2)
+            time.sleep(0.05)
             _, schedule = greedy_upper_bound(instance)
             return AlgorithmResult.from_schedule(name, schedule)
 
         try:
-            path = tmp_path / "timeout.sqlite"
-            task = _task(algorithm=name)
+            path = tmp_path / "budget.sqlite"
+            over = _task(algorithm=name, seed=0)
+            within = _task(algorithm=name, seed=1)
             with ResultStore(path) as store, TaskQueue(path) as queue:
-                queue.enqueue([task])
-                stats = drain(store, queue, "w1", idle_exit=0.0, poll_s=0.01,
-                              timeout=0.05)
-                assert stats["overtime"] == 1 and stats["computed"] == 1
+                queue.enqueue([over, within], budgets=[0.01, 30.0])
+                stats = drain(store, queue, "w1", idle_exit=0.0, poll_s=0.01)
+                assert stats["overtime"] == 1 and stats["computed"] == 2
                 assert stats["failed"] == 0
-                (row,) = queue.rows([task.cache_key()])
-                assert row.status == "done"
-                assert store.get(task) is not None
+                for task in (over, within):
+                    (row,) = queue.rows([task.cache_key()])
+                    assert row.status == "done"
+                blown = store.get(over)
+                assert blown.meta["budget_s"] == 0.01
+                assert blown.meta["over_budget"] is True
+                assert blown.meta["budget_elapsed_s"] > 0.01
+                fine = store.get(within)
+                assert fine.meta["budget_s"] == 30.0
+                assert "over_budget" not in fine.meta
         finally:
             unregister_algorithm(name)
 
@@ -313,47 +420,159 @@ class TestCrossProcess:
                 assert store.get(task) is not None
 
     def test_worker_crash_requeues_with_exclusion(self, tmp_path):
-        """A worker killed mid-task (os._exit) leaves an expiring lease;
-        reclaim hands the task to the next worker with the dead one
-        excluded."""
+        """A chaos worker killed mid-lease (``--crash-after 0
+        --crash-mid-task``: lease the first task, ``os._exit`` holding it)
+        leaves an expiring lease; reclaim hands the task to the next
+        worker with the dead one excluded.  Expiry is driven by explicit
+        ``now`` values, not by sleeping through wall-clock time."""
         path = tmp_path / "crash.sqlite"
-        script = textwrap.dedent("""
-            import sys, os, time
-            from repro.algorithms.base import AlgorithmResult
-            from repro.core.instance import Instance
-            from repro.generators import uniform_instance
-            from repro.runtime import BatchTask, register_algorithm
-            from repro.runtime.worker import drain
-            from repro.store import ResultStore, TaskQueue
-
-            @register_algorithm("test-crasher", tags=("test",))
-            def _crasher(instance):
-                os._exit(9)   # simulate an OOM kill / native crash
-
-            path = sys.argv[1]
-            task = BatchTask.make("test-crasher",
-                                  uniform_instance(12, 3, 3, seed=0,
-                                                   integral=True))
-            store = ResultStore(path)
-            queue = TaskQueue(path, lease_s=0.2)
+        task = _task()
+        key = task.cache_key()
+        with TaskQueue(path, lease_s=30.0) as queue:
             queue.enqueue([task])
-            print(task.cache_key())
-            sys.stdout.flush()
-            drain(store, queue, "crashy-worker", idle_exit=0.0, poll_s=0.01)
-        """)
-        proc = subprocess.run([sys.executable, "-c", script, str(path)],
-                              capture_output=True, text=True, env=_src_env(),
-                              timeout=60)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.testing.chaos",
+             "--store", str(path), "--worker-id", "crashy-worker",
+             "--crash-after", "0", "--crash-mid-task", "--lease-s", "30",
+             "--idle-exit", "0", "--poll-s", "0.01"],
+            capture_output=True, text=True, env=_src_env(), timeout=60)
         assert proc.returncode == 9, proc.stderr  # the worker really died
-        key = proc.stdout.strip()
-        with TaskQueue(path, lease_s=0.2) as queue:
+        with TaskQueue(path, lease_s=30.0) as queue:
             (row,) = queue.rows([key])
             assert row.status == "leased"  # the crash left the lease behind
-            time.sleep(0.25)  # let it expire
-            assert queue.reclaim_expired() == 1
+            assert row.owner == "crashy-worker"
+            now = time.time()
+            assert queue.reclaim_expired(now=now) == 0  # lease still live
+            expired = now + 31.0
+            assert queue.reclaim_expired(now=expired) == 1
             (row,) = queue.rows([key])
             assert row.status == "queued"
             assert row.excluded_worker == "crashy-worker"
-            assert queue.lease("crashy-worker") is None
-            takeover = queue.lease("healthy-worker")
+            assert queue.lease("crashy-worker", now=expired) is None
+            takeover = queue.lease("healthy-worker", now=expired)
             assert takeover is not None and takeover.key == key
+
+    def test_chaos_crash_between_tasks_holds_no_lease(self, tmp_path):
+        """``--crash-after N`` without ``--crash-mid-task`` dies *between*
+        leases: completed work stays done, nothing is left leased — the
+        restart-pressure fault the supervisor soak leans on."""
+        path = tmp_path / "between.sqlite"
+        tasks = [_task(seed=s) for s in range(3)]
+        with TaskQueue(path) as queue:
+            queue.enqueue(tasks)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.testing.chaos",
+             "--store", str(path), "--worker-id", "fragile-worker",
+             "--crash-after", "2", "--idle-exit", "0", "--poll-s", "0.01"],
+            capture_output=True, text=True, env=_src_env(), timeout=60)
+        assert proc.returncode == 9, proc.stderr
+        with TaskQueue(path) as queue:
+            counts = queue.counts()
+            assert counts == {"queued": 1, "leased": 0, "done": 2,
+                              "failed": 0}
+        with ResultStore(path) as store:
+            done = [t for t in tasks if store.get(t) is not None]
+            assert len(done) == 2
+
+
+class TestSchemaMigration:
+    """Opening a pre-budget queue self-heals without losing anything real."""
+
+    #: The PR-3 layout: no ``budget_s`` column, no ``task_queue_meta``.
+    PRE_PR4_SCHEMA = """
+    CREATE TABLE task_queue (
+        key             TEXT PRIMARY KEY,
+        task_payload    BLOB NOT NULL,
+        status          TEXT NOT NULL DEFAULT 'queued',
+        owner           TEXT,
+        lease_expires_at REAL,
+        attempts        INTEGER NOT NULL DEFAULT 0,
+        compute_count   INTEGER NOT NULL DEFAULT 0,
+        excluded_worker TEXT,
+        error           TEXT,
+        enqueued_at     REAL NOT NULL,
+        updated_at      REAL NOT NULL
+    );
+    CREATE INDEX idx_task_queue_status ON task_queue (status, enqueued_at);
+    """
+
+    def _make_pre_pr4_file(self, path, queued, done, leased=None):
+        """A store file whose queue uses the PR-3 schema: one stored
+        result for ``done``, plus rows in the given states."""
+        done_result = _result_for(done)
+        with ResultStore(path) as store:
+            store.put(done, done_result)
+        conn = sqlite3.connect(str(path))
+        conn.executescript(self.PRE_PR4_SCHEMA)
+        rows = [
+            (queued.cache_key(), pickle.dumps(queued), "queued", 0, 0,
+             None, None),
+            (done.cache_key(), pickle.dumps(done), "done", 1, 1,
+             "old-worker", None),
+        ]
+        if leased is not None:
+            rows.append((leased.cache_key(), pickle.dumps(leased), "leased",
+                         1, 0, "dead-worker", 12345.0))
+        conn.executemany(
+            "INSERT INTO task_queue (key, task_payload, status, attempts,"
+            " compute_count, owner, lease_expires_at, enqueued_at, updated_at)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, 100.0, 100.0)", rows)
+        conn.commit()
+        conn.close()
+        return done_result
+
+    def test_pre_budget_queue_migrates_preserving_store_and_work(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        queued, done, leased = _task(seed=0), _task(seed=1), _task(seed=2)
+        done_result = self._make_pre_pr4_file(path, queued, done, leased)
+
+        with TaskQueue(path) as queue:
+            assert queue.migrated
+            by_key = {r.key: r for r in queue.rows()}
+            # Queued work was re-armed and is claimable, budget-less.
+            row = by_key[queued.cache_key()]
+            assert row.status == "queued" and row.attempts == 0
+            assert row.budget_s is None
+            # The orphaned lease (its worker died with the old file) was
+            # re-armed too, its stale bookkeeping dropped.
+            row = by_key[leased.cache_key()]
+            assert row.status == "queued" and row.owner is None
+            # Finished work kept its status and compute history.
+            row = by_key[done.cache_key()]
+            assert row.status == "done" and row.compute_count == 1
+            # The re-armed rows actually lease, with intact payloads.
+            takeover = queue.lease("fresh-worker")
+            assert takeover is not None
+            assert takeover.task.cache_key() == takeover.key
+
+        # The store's results table was never touched by the migration.
+        with ResultStore(path) as store:
+            survived = store.get(done)
+            assert survived is not None
+            assert survived.makespan == done_result.makespan
+
+        # A second open sees the current schema: no repeated migration
+        # (the lease taken above survives it untouched).
+        with TaskQueue(path) as queue:
+            assert not queue.migrated
+            assert queue.outstanding() == 2
+
+    def test_unversioned_meta_table_triggers_migration(self, tmp_path):
+        """A current-columns table without a version stamp still migrates
+        (covers files written by hypothetical intermediate builds)."""
+        path = tmp_path / "stampless.sqlite"
+        task = _task()
+        with TaskQueue(path) as queue:
+            queue.enqueue([task], budgets=[5.0])
+        conn = sqlite3.connect(str(path))
+        conn.execute("DELETE FROM task_queue_meta")
+        conn.commit()
+        conn.close()
+        with TaskQueue(path) as queue:
+            assert queue.migrated
+            (row,) = queue.rows([task.cache_key()])
+            # Salvage keeps the row queued; the budget column is not among
+            # the salvaged fields (stale budgets from unknown layouts are
+            # not trusted), so it resets to unbudgeted.
+            assert row.status == "queued" and row.budget_s is None
+            assert queue.lease("w1") is not None
