@@ -17,15 +17,15 @@ Run with:  python examples/datacenter_dataplacement.py
 import numpy as np
 
 from repro import (
+    AlgorithmSweep,
     Instance,
-    best_machine_schedule,
-    class_aware_list_schedule,
-    class_uniform_ptimes_approximation,
-    class_uniform_ptimes_instance,
+    ScenarioSpec,
+    Session,
     lp_lower_bound,
-    randomized_rounding_approximation,
     theoretical_ratio_bound,
 )
+from repro.api import ScalePreset
+from repro.runtime import BatchTask
 
 
 def build_cluster_instance(seed: int = 11) -> Instance:
@@ -58,9 +58,16 @@ def main() -> None:
           f"O(log n + log m) ≈ {theoretical_ratio_bound(cluster.num_jobs, cluster.num_machines):.1f}x")
     print()
 
-    rounding = randomized_rounding_approximation(cluster, seed=11, restarts=3)
-    greedy = class_aware_list_schedule(cluster)
-    fastest = best_machine_schedule(cluster)
+    # Every policy dispatches through one Session facade — shared cache,
+    # one config surface for store/backend if you want them.
+    session = Session()
+    batch = session.runner().run_tasks([
+        BatchTask.make("randomized-rounding", cluster,
+                       {"seed": 11, "restarts": 3}),
+        BatchTask.make("class-aware-greedy", cluster),
+        BatchTask.make("best-machine", cluster),
+    ]).raise_for_failures()
+    rounding, greedy, fastest = batch.results
 
     print(f"{'policy':<44}{'makespan (min)':>16}{'vs LP bound':>12}")
     for label, result in [
@@ -72,13 +79,26 @@ def main() -> None:
 
     # Special case: each dataset's jobs are identical canned queries, so all
     # jobs of a class have the same processing time per server — Theorem 3.11
-    # gives a 3-approximation with a *constant* guarantee.
+    # gives a 3-approximation with a *constant* guarantee.  Declared as an
+    # inline-generator scenario spec (the same shape the TOML files under
+    # scenarios/ serialize), then executed by the session.
     print()
     print("class-uniform special case (identical queries per dataset):")
-    queries = class_uniform_ptimes_instance(60, 8, 12, seed=13,
-                                            name="canned-query-cluster")
-    specialised = class_uniform_ptimes_approximation(queries)
-    generic = randomized_rounding_approximation(queries, seed=13)
+    spec = ScenarioSpec(
+        name="canned-queries",
+        title="Canned-query cluster: Theorem 3.11 vs generic rounding",
+        generator="class_uniform_ptimes_instance",
+        sweep=({"num_jobs": 60, "num_machines": 8, "num_classes": 12},),
+        replications=1,
+        base_seed=13,
+        algorithms=(AlgorithmSweep.make("class-uniform-ptimes-3approx"),
+                    AlgorithmSweep.make("randomized-rounding",
+                                        seed_kwarg="seed")),
+        scales={"quick": ScalePreset()},
+    )
+    run = session.run(spec)
+    specialised, generic = run.results
+    queries = run.points[0][2]
     q_bound = lp_lower_bound(queries)
     print(f"  3-approximation (Thm 3.11): makespan {specialised.makespan:8.1f} "
           f"({specialised.makespan / q_bound:.2f}x LP bound)")

@@ -13,13 +13,8 @@ Run with:  python examples/factory_changeover.py
 
 import numpy as np
 
-from repro import (
-    Instance,
-    class_oblivious_list_schedule,
-    lpt_uniform_with_setups,
-    makespan_bounds,
-    ptas_uniform,
-)
+from repro import Instance, Session, makespan_bounds
+from repro.runtime import BatchTask
 
 
 def build_plant_instance(seed: int = 2024) -> Instance:
@@ -55,9 +50,15 @@ def main() -> None:
     bounds = makespan_bounds(plant)
     print(f"lower bound on the optimal makespan: {bounds.lower:.0f} minutes")
 
-    naive = class_oblivious_list_schedule(plant)
-    lpt = lpt_uniform_with_setups(plant)
-    ptas = ptas_uniform(plant, epsilon=0.1)
+    # One Session drives every policy through the shared (cached) runner:
+    # the registry resolves names, the runner batches the three tasks.
+    runner = Session().runner()
+    batch = runner.run_tasks([
+        BatchTask.make("class-oblivious-list", plant),
+        BatchTask.make("lpt-with-setups", plant),
+        BatchTask.make("ptas-uniform", plant, {"epsilon": 0.1}),
+    ]).raise_for_failures()
+    naive, lpt, ptas = batch.results
 
     print()
     print(f"{'policy':<42}{'makespan (min)':>16}{'changeovers':>14}")

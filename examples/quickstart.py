@@ -5,7 +5,9 @@ Run with:  python examples/quickstart.py
 """
 
 from repro import (
-    BatchRunner,
+    AlgorithmSweep,
+    ScenarioSpec,
+    Session,
     algorithms_for,
     class_aware_list_schedule,
     class_oblivious_list_schedule,
@@ -15,6 +17,7 @@ from repro import (
     ptas_uniform,
     uniform_instance,
 )
+from repro.api import ScalePreset
 
 
 def main() -> None:
@@ -65,14 +68,16 @@ def main() -> None:
             continue
         print(f"  {name:<24} ratio = {stats['ratio']:.3f}")
 
-    # The runtime registry + batch engine: discover every algorithm that can
-    # serve an instance, run a whole (algorithm x instance) grid through the
-    # (cached, possibly multi-process) BatchRunner, and let portfolio mode
-    # keep the best schedule per instance.
+    # The runtime registry + batch engine, reached through the Session
+    # facade (the one public front door over registry / runner pool /
+    # store / backends): discover every algorithm that can serve an
+    # instance, run a whole (algorithm x instance) grid through the shared
+    # (cached) runner, and let portfolio mode keep the best schedule.
     print()
     applicable = [spec.name for spec in algorithms_for(instance)]
     print(f"registered algorithms applicable here: {', '.join(applicable)}")
-    runner = BatchRunner()
+    session = Session()                       # config: kwargs > env > defaults
+    runner = session.runner()                 # canonical keyed runner pool
     batch = runner.run(["lpt-with-setups", "class-aware-greedy"],
                        [instance, instance.without_setups()])
     print(f"grid of {len(batch)} tasks in {batch.wall_seconds * 1000:.1f} ms "
@@ -80,6 +85,21 @@ def main() -> None:
           f"{runner.stats['cache_hits']} cache hits)")
     best = runner.portfolio([instance])[0]
     print(f"portfolio winner        makespan = {best.makespan:8.1f}   ({best.name})")
+
+    # Declarative scenarios: the same sweep as a data object.  Specs
+    # round-trip to the TOML files under scenarios/ (every one of which
+    # runs via `python -m repro run scenarios/<file>.toml`).
+    spec = ScenarioSpec(
+        name="quickstart-sweep",
+        title="Quickstart: baselines on the E1 uniform suite",
+        suite="e1_lpt_uniform",
+        algorithms=(AlgorithmSweep.make("lpt-with-setups"),
+                    AlgorithmSweep.make("class-aware-greedy")),
+        scales={"quick": ScalePreset(max_points=2)},
+    )
+    run = session.run(spec)                   # or session.stream(spec)
+    print()
+    print(run.table().render())
 
     # Persistent result store + streaming: results written through a
     # store-backed runner survive process restarts; a second runner (think:
@@ -93,13 +113,14 @@ def main() -> None:
 
     store_dir = Path(tempfile.mkdtemp(prefix="repro-quickstart-"))
     store_path = store_dir / "results.sqlite"
+    store_session = Session(store_path=str(store_path))
     try:
         tasks = [BatchTask.make("ptas-uniform", instance, {"epsilon": eps})
                  for eps in (0.5, 0.25, 0.1)]
-        cold = BatchRunner(store=store_path)
+        cold = store_session.build_runner()
         cold.run_tasks(tasks)                   # computes + persists
         cold.store.close()
-        warm = BatchRunner(store=store_path)    # fresh runner, warm disk
+        warm = store_session.build_runner()     # fresh runner, warm disk
         print()
         print(f"streaming a warm re-run from {store_path.name}:")
         for idx, result in warm.run_iter(tasks):  # yields without pool work

@@ -28,6 +28,8 @@ Package map
 ``repro.runtime``     algorithm registry + parallel batch execution engine
 ``repro.store``       persistent result store + fitted runtime cost model
 ``repro.analysis``    ratio measurement, experiment registry, result tables
+``repro.api``         the public front door: declarative scenario specs +
+                      the Session facade + the ``python -m repro run`` CLI
 """
 
 from repro._version import __version__
@@ -100,6 +102,16 @@ from repro.store import CostModel, ResultStore
 # Analysis / experiments.
 from repro.analysis import EXPERIMENTS, ResultTable, compare_algorithms, run_experiment
 
+# Public front door: declarative scenarios + the Session facade.
+from repro.api import (
+    AlgorithmSweep,
+    ScenarioSpec,
+    Session,
+    SessionConfig,
+    load_scenario,
+)
+from repro.runtime.pool import get_runner
+
 __all__ = [
     "__version__",
     # core
@@ -154,4 +166,11 @@ __all__ = [
     "compare_algorithms",
     "run_experiment",
     "EXPERIMENTS",
+    # api (the public front door)
+    "Session",
+    "SessionConfig",
+    "ScenarioSpec",
+    "AlgorithmSweep",
+    "load_scenario",
+    "get_runner",
 ]

@@ -1,0 +1,12 @@
+"""``python -m repro`` — the package-level CLI (scenario execution).
+
+Thin dispatch into :mod:`repro.api.cli`; see ``python -m repro run
+--help`` and the ``scenarios/`` directory for ready-made spec files.
+"""
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,10 +8,14 @@ examples) rather than ad-hoc scripting.
   measure makespans against the best available reference (exact MILP optimum
   on small instances, LP lower bound otherwise).
 * :mod:`repro.analysis.experiments` — the experiment registry: one function
-  per experiment id of DESIGN.md (E1–E9, F1) producing a
-  :class:`repro.analysis.tables.ResultTable`.
-* :mod:`repro.analysis.tables` — plain-text table rendering used by the
-  benchmark harness and EXPERIMENTS.md.
+  per experiment id of DESIGN.md (E1–E9, F1–F5) producing a
+  :class:`repro.analysis.tables.ResultTable`; since the :mod:`repro.api`
+  redesign each E-experiment is a thin
+  :class:`~repro.api.ScenarioSpec`-plus-post-processing wrapper over the
+  :class:`~repro.api.Session` facade.
+* :mod:`repro.analysis.tables` — plain-text/markdown/CSV/JSON table
+  rendering used by the benchmark harness, EXPERIMENTS.md, and the
+  ``python -m repro run --export`` CLI.
 """
 
 from repro.analysis.ratios import ReferenceBound, compare_algorithms, reference_makespan

@@ -6,13 +6,21 @@ and EXPERIMENTS.md records the headline numbers.  All experiments are seeded
 through :mod:`repro.generators.suites`, so re-running them reproduces the
 same rows.
 
-Execution is dispatched through the shared :class:`repro.runtime.BatchRunner`
-(:func:`get_runner`): algorithm invocations go through the registry by name
-(``runner.run`` / ``runner.run_tasks``), and non-algorithm sweep steps (the
-E4 hardness construction, the E8 dual-search probes, the F1 structure
-analysis) go through ``runner.map``.  On a multi-core host the grids fan out
-over a process pool; results are identical to serial execution because every
-task is independently seeded.
+Since the :mod:`repro.api` redesign the E-experiments are *thin wrappers*:
+each declares its sweep as a :class:`~repro.api.ScenarioSpec` (suite +
+algorithm grid + scale presets), executes it through the shared
+:class:`~repro.api.Session` facade, and keeps only the post-processing that
+turns aligned results into its published table (reference solves, ratio
+columns).  Non-algorithm sweep steps (the E4 hardness construction, the E8
+dual-search probes, the F1 structure analysis) go through ``Session.map``.
+The F-benchmarks that *measure the stack itself* (F2 throughput, F3 store,
+F4 queue, F5 supervisor) keep their bespoke harnesses but construct every
+runner via :meth:`Session.build_runner`, so one config object governs them
+too.
+
+``get_runner`` is re-exported from :mod:`repro.runtime.pool` — the
+canonical keyed runner pool — for backwards compatibility with the
+pre-``repro.api`` entry point that used to live here.
 
 The paper itself contains no empirical evaluation (it is a theory paper);
 the experiments here verify each proven guarantee empirically and
@@ -36,12 +44,14 @@ from repro.algorithms.ptas import PTASParams, compute_groups, simplify_instance
 from repro.algorithms.unrelated import theoretical_ratio_bound
 from repro.analysis.ratios import reference_makespan
 from repro.analysis.tables import ResultTable
+from repro.api import AlgorithmSweep, ScalePreset, ScenarioSpec, Session
 from repro.core.bounds import greedy_upper_bound, lp_lower_bound, makespan_bounds
 from repro.core.dual import dual_approximation_search
 from repro.core.instance import Instance
 from repro.generators import uniform_instance
 from repro.generators.suites import SUITES, iter_suite
 from repro.runtime import BatchRunner, BatchTask
+from repro.runtime.pool import get_runner
 from repro.setcover import (
     greedy_set_cover,
     integrality_gap_instance,
@@ -71,100 +81,19 @@ __all__ = [
     "result_digest",
 ]
 
-#: Keyed runner pool: one runner per ``(store file, backend)`` pair, every
-#: runner on the same store file sharing one :class:`ResultStore` handle.
-#: Within a runner, one content-hash cache spans all experiments, so e.g.
-#: the LPT baseline measured by E2 for every epsilon is computed once.
-_RUNNERS: Dict[Tuple[Optional[str], Optional[str]], BatchRunner] = {}
-_SHARED_STORES: Dict[str, "ResultStore"] = {}
-_DEFAULT_RUNNER: Optional[BatchRunner] = None
-
-
-def _shared_store(path: str) -> "ResultStore":
-    """One ``ResultStore`` handle per store file, shared by every runner
-    keyed on it (so their put counters — and hence cost-model auto-refits —
-    see each other's writes)."""
-    from repro.store import ResultStore
-
-    store = _SHARED_STORES.get(path)
-    if store is None:
-        store = ResultStore(path)
-        _SHARED_STORES[path] = store
-    return store
-
-
-def get_runner(store_path: Union[None, str, Path] = None,
-               backend: Optional[str] = None) -> BatchRunner:
-    """The shared experiment runner(s): one per ``(store, backend)`` key.
-
-    ``store_path`` (or the ``REPRO_RESULT_STORE`` environment variable)
-    selects a persistent :class:`~repro.store.ResultStore`, so sweep
-    results survive process restarts — a re-run of yesterday's experiment
-    grid streams from disk instead of recomputing its MILP/PTAS seconds.
-    ``backend`` (or ``REPRO_BACKEND``) selects the execution backend
-    (``"serial"``, ``"pool"``, ``"queue"``; default auto).
-
-    This used to be a process singleton; it is now a *keyed pool*: each
-    distinct ``(store file, backend)`` pair gets its own runner, so an
-    embedded server can drive independent sweeps per tenant — separate
-    caches and stats, different store files or backends — while runners
-    keyed on the same store file share a single ``ResultStore`` handle
-    (one SQLite connection, one put counter feeding cost-model refits).
-
-    Calls without a ``store_path`` return the *default* runner — the first
-    runner this process created — preserving the historical contract that
-    ``run_experiment(..., store_path=...)`` configures the store once and
-    every experiment's bare ``get_runner()`` then hits it.  A bare first
-    call creates a store-less default; a later ``store_path`` call
-    attaches that store to it (first store wins;
-    :meth:`BatchRunner.attach_store` keeps its no-op-on-conflict
-    semantics, so a singleton-era caller can never silently switch files
-    mid-flight).
-    """
-    global _DEFAULT_RUNNER
-    path = store_path if store_path is not None else os.environ.get("REPRO_RESULT_STORE")
-    backend_name = backend if backend is not None else os.environ.get("REPRO_BACKEND")
-    if not path:
-        runner = _RUNNERS.get((None, backend_name))
-        if runner is not None:
-            return runner
-        if backend_name is None:
-            # A plain bare call: the default runner, whatever its key —
-            # that is the legacy contract the experiments rely on.
-            if _DEFAULT_RUNNER is None:
-                _DEFAULT_RUNNER = BatchRunner()
-                _RUNNERS[(None, None)] = _DEFAULT_RUNNER
-            return _DEFAULT_RUNNER
-        # An explicit backend must be honoured even when a default with a
-        # different backend already exists: key a store-less runner on it.
-        runner = BatchRunner(backend=backend_name)
-        _RUNNERS[(None, backend_name)] = runner
-        if _DEFAULT_RUNNER is None:
-            _DEFAULT_RUNNER = runner
-        return runner
-    norm = str(Path(path))
-    key = (norm, backend_name)
-    runner = _RUNNERS.get(key)
-    if runner is None:
-        runner = BatchRunner(store=_shared_store(norm), backend=backend_name)
-        _RUNNERS[key] = runner
-    if _DEFAULT_RUNNER is None:
-        _DEFAULT_RUNNER = runner
-    elif _DEFAULT_RUNNER.store is None:
-        # Legacy singleton flow: a store-less default picks up the first
-        # explicitly configured store (attach_store ignores later ones).
-        _DEFAULT_RUNNER.attach_store(_shared_store(norm))
-    return runner
-
-
-def _limit(iterable, quick: bool, quick_count: int):
-    items = list(iterable)
-    return items[:quick_count] if quick else items
-
 
 # ---------------------------------------------------------------------------
 # E1 — LPT with setup placeholders (Lemma 2.1)
 # ---------------------------------------------------------------------------
+E1_SPEC = ScenarioSpec(
+    name="e1-lpt",
+    suite="e1_lpt_uniform",
+    algorithms=(AlgorithmSweep.make("lpt-with-setups"),
+                AlgorithmSweep.make("lpt-class-oblivious")),
+    scales={"quick": ScalePreset(max_points=5), "full": ScalePreset()},
+)
+
+
 def experiment_e1_lpt(scale: str = "quick") -> ResultTable:
     """Measured ratio of the Lemma 2.1 LPT algorithm vs its 4.74 guarantee."""
     quick = scale == "quick"
@@ -173,13 +102,11 @@ def experiment_e1_lpt(scale: str = "quick") -> ResultTable:
         columns=["n", "m", "K", "setup_regime", "reference", "lpt_ratio",
                  "plain_lpt_ratio", "guarantee"],
     )
-    points = _limit(iter_suite(SUITES["e1_lpt_uniform"]), quick, 5)
-    instances = [inst for _params, _seed, inst in points]
-    batch = get_runner().run(["lpt-with-setups", "lpt-class-oblivious"],
-                             instances).raise_for_failures()
-    lpt_results = batch.by_algorithm("lpt-with-setups")
-    plain_results = batch.by_algorithm("lpt-class-oblivious")
-    for (params, seed, inst), lpt, plain in zip(points, lpt_results, plain_results):
+    run = Session().run(E1_SPEC, scale=scale)
+    lpt_results = run.by_algorithm("lpt-with-setups")
+    plain_results = run.by_algorithm("lpt-class-oblivious")
+    for (params, seed, inst), lpt, plain in zip(run.points, lpt_results,
+                                                plain_results):
         ref = reference_makespan(inst, exact_limit=700 if quick else 2000)
         table.add_row(
             n=inst.num_jobs, m=inst.num_machines, K=inst.num_classes,
@@ -201,28 +128,32 @@ def experiment_e2_ptas(scale: str = "quick") -> ResultTable:
     """Measured PTAS ratio and runtime as ε shrinks."""
     quick = scale == "quick"
     epsilons = [0.5, 0.25, 0.1] if quick else [0.5, 0.25, 0.1, 0.05]
+    spec = ScenarioSpec(
+        name="e2-ptas",
+        suite="e2_ptas_uniform",
+        algorithms=(AlgorithmSweep.make("lpt-with-setups"),
+                    AlgorithmSweep.make("ptas-uniform",
+                                        {"epsilon": epsilons})),
+        scales={"quick": ScalePreset(max_points=4), "full": ScalePreset()},
+    )
     table = ResultTable(
         title="E2: PTAS on uniform machines (Section 2.1) — ratio vs epsilon",
         columns=["epsilon", "instances", "mean_ratio", "max_ratio", "mean_runtime_s",
                  "lpt_mean_ratio"],
     )
-    points = _limit(iter_suite(SUITES["e2_ptas_uniform"]), quick, 4)
-    instances = [inst for _params, _seed, inst in points]
-    runner = get_runner()
-    refs = [reference_makespan(inst, exact_limit=500) for inst in instances]
+    run = Session().run(spec, scale=scale)
+    refs = [reference_makespan(inst, exact_limit=500)
+            for _params, _seed, inst in run.points]
     # The LPT baseline is epsilon-independent; the shared cache means the
-    # grid below costs one run per instance regardless of len(epsilons).
-    lpt_results = runner.run(["lpt-with-setups"],
-                             instances).raise_for_failures().by_algorithm("lpt-with-setups")
+    # grid costs one LPT run per instance regardless of len(epsilons).
+    lpt_results = run.by_algorithm("lpt-with-setups")
     for eps in epsilons:
-        ptas_results = runner.run(
-            [("ptas-uniform", {"epsilon": eps})],
-            instances).raise_for_failures().by_algorithm("ptas-uniform")
+        ptas_results = run.by_algorithm("ptas-uniform", epsilon=eps)
         ratios = [res.ratio_to(ref.value) for res, ref in zip(ptas_results, refs)]
         lpt_ratios = [res.ratio_to(ref.value) for res, ref in zip(lpt_results, refs)]
         runtimes = [res.runtime_seconds for res in ptas_results]
         table.add_row(
-            epsilon=eps, instances=len(instances),
+            epsilon=eps, instances=len(run.points),
             mean_ratio=float(np.mean(ratios)), max_ratio=float(np.max(ratios)),
             mean_runtime_s=float(np.mean(runtimes)),
             lpt_mean_ratio=float(np.mean(lpt_ratios)),
@@ -238,23 +169,25 @@ def experiment_e2_ptas(scale: str = "quick") -> ResultTable:
 def experiment_e3_randomized_rounding(scale: str = "quick") -> ResultTable:
     """Measured rounding ratio against the LP lower bound and the Chernoff bound."""
     quick = scale == "quick"
+    spec = ScenarioSpec(
+        name="e3-randomized-rounding",
+        suite="e3_randomized_rounding",
+        algorithms=(AlgorithmSweep.make("randomized-rounding",
+                                        {"restarts": 1 if quick else 3},
+                                        seed_kwarg="seed"),
+                    AlgorithmSweep.make("class-aware-greedy")),
+        scales={"quick": ScalePreset(max_points=4), "full": ScalePreset()},
+    )
     table = ResultTable(
         title="E3: randomized LP rounding on unrelated machines (Theorem 3.3)",
         columns=["n", "m", "K", "correlation", "reference", "ratio",
                  "theoretical_bound", "greedy_ratio"],
     )
-    points = _limit(iter_suite(SUITES["e3_randomized_rounding"]), quick, 4)
-    instances = [inst for _params, _seed, inst in points]
-    runner = get_runner()
-    rounding_results = runner.run_tasks([
-        BatchTask.make("randomized-rounding", inst,
-                       {"seed": seed, "restarts": 1 if quick else 3})
-        for _params, seed, inst in points
-    ]).raise_for_failures().results
-    greedy_results = runner.run(
-        ["class-aware-greedy"], instances).raise_for_failures().by_algorithm(
-        "class-aware-greedy")
-    for (params, seed, inst), rounding, greedy in zip(points, rounding_results,
+    run = Session().run(spec, scale=scale)
+    rounding_results = run.by_algorithm("randomized-rounding")
+    greedy_results = run.by_algorithm("class-aware-greedy")
+    for (params, seed, inst), rounding, greedy in zip(run.points,
+                                                      rounding_results,
                                                       greedy_results):
         ref = reference_makespan(inst, exact_limit=500 if quick else 1200)
         table.add_row(
@@ -274,7 +207,7 @@ def experiment_e3_randomized_rounding(scale: str = "quick") -> ResultTable:
 # E4 — hardness construction (Section 3.2)
 # ---------------------------------------------------------------------------
 def _e4_row(args: Tuple[int, int]) -> Dict[str, object]:
-    """One hardness point (module-level so ``runner.map`` can ship it)."""
+    """One hardness point (module-level so ``Session.map`` can ship it)."""
     q, rng_seed = args
     universe = 4 * q
     num_subsets = 2 * q
@@ -306,7 +239,7 @@ def experiment_e4_hardness_gap(scale: str = "quick") -> ResultTable:
                  "no_lower_bound(alpha=lnN)", "sc_lp_value", "sc_greedy_size"],
     )
     rng_seed = 20190415
-    for row in get_runner().map(_e4_row, [(q, rng_seed) for q in qs]):
+    for row in Session().map(_e4_row, [(q, rng_seed) for q in qs]):
         table.add_row(**row)
     table.add_note("expected shape: yes_makespan stays near (K/m)·t while the no-instance "
                    "lower bound grows by the Θ(log N) factor alpha; the SetCover LP value "
@@ -317,6 +250,15 @@ def experiment_e4_hardness_gap(scale: str = "quick") -> ResultTable:
 # ---------------------------------------------------------------------------
 # E5 / E6 — constant-factor special cases (Section 3.3)
 # ---------------------------------------------------------------------------
+E5_SPEC = ScenarioSpec(
+    name="e5-class-uniform-restrictions",
+    suite="e5_class_uniform_restrictions",
+    algorithms=(AlgorithmSweep.make("class-uniform-restrictions-2approx"),
+                AlgorithmSweep.make("class-aware-greedy")),
+    scales={"quick": ScalePreset(max_points=4), "full": ScalePreset()},
+)
+
+
 def experiment_e5_class_uniform_restrictions(scale: str = "quick") -> ResultTable:
     """Measured ratio of the 2-approximation of Theorem 3.10."""
     quick = scale == "quick"
@@ -324,14 +266,10 @@ def experiment_e5_class_uniform_restrictions(scale: str = "quick") -> ResultTabl
         title="E5: restricted assignment with class-uniform restrictions (Theorem 3.10)",
         columns=["n", "m", "K", "reference", "ratio", "guarantee", "greedy_ratio"],
     )
-    points = _limit(iter_suite(SUITES["e5_class_uniform_restrictions"]), quick, 4)
-    instances = [inst for _params, _seed, inst in points]
-    batch = get_runner().run(
-        ["class-uniform-restrictions-2approx", "class-aware-greedy"],
-        instances).raise_for_failures()
-    approx_results = batch.by_algorithm("class-uniform-restrictions-2approx")
-    greedy_results = batch.by_algorithm("class-aware-greedy")
-    for (params, seed, inst), result, greedy in zip(points, approx_results,
+    run = Session().run(E5_SPEC, scale=scale)
+    approx_results = run.by_algorithm("class-uniform-restrictions-2approx")
+    greedy_results = run.by_algorithm("class-aware-greedy")
+    for (params, seed, inst), result, greedy in zip(run.points, approx_results,
                                                     greedy_results):
         ref = reference_makespan(inst, exact_limit=500 if quick else 1500)
         table.add_row(
@@ -344,6 +282,16 @@ def experiment_e5_class_uniform_restrictions(scale: str = "quick") -> ResultTabl
     return table
 
 
+E6_SPEC = ScenarioSpec(
+    name="e6-class-uniform-ptimes",
+    suite="e6_class_uniform_ptimes",
+    algorithms=(AlgorithmSweep.make("class-uniform-ptimes-3approx"),
+                AlgorithmSweep.make("randomized-rounding", {"restarts": 1},
+                                    seed_kwarg="seed")),
+    scales={"quick": ScalePreset(max_points=4), "full": ScalePreset()},
+)
+
+
 def experiment_e6_class_uniform_ptimes(scale: str = "quick") -> ResultTable:
     """Measured ratio of the 3-approximation of Theorem 3.11."""
     quick = scale == "quick"
@@ -351,17 +299,10 @@ def experiment_e6_class_uniform_ptimes(scale: str = "quick") -> ResultTable:
         title="E6: unrelated machines with class-uniform processing times (Theorem 3.11)",
         columns=["n", "m", "K", "reference", "ratio", "guarantee", "rounding_ratio"],
     )
-    points = _limit(iter_suite(SUITES["e6_class_uniform_ptimes"]), quick, 4)
-    instances = [inst for _params, _seed, inst in points]
-    runner = get_runner()
-    approx_results = runner.run(
-        ["class-uniform-ptimes-3approx"], instances).raise_for_failures().by_algorithm(
-        "class-uniform-ptimes-3approx")
-    rounding_results = runner.run_tasks([
-        BatchTask.make("randomized-rounding", inst, {"seed": seed, "restarts": 1})
-        for _params, seed, inst in points
-    ]).raise_for_failures().results
-    for (params, seed, inst), result, rounding in zip(points, approx_results,
+    run = Session().run(E6_SPEC, scale=scale)
+    approx_results = run.by_algorithm("class-uniform-ptimes-3approx")
+    rounding_results = run.by_algorithm("randomized-rounding")
+    for (params, seed, inst), result, rounding in zip(run.points, approx_results,
                                                       rounding_results):
         ref = reference_makespan(inst, exact_limit=500 if quick else 1500)
         table.add_row(
@@ -378,26 +319,41 @@ def experiment_e6_class_uniform_ptimes(scale: str = "quick") -> ResultTable:
 # ---------------------------------------------------------------------------
 # E7 — baselines (motivation)
 # ---------------------------------------------------------------------------
+E7_UNIFORM_SPEC = ScenarioSpec(
+    name="e7-baselines-uniform",
+    suite="e7_baselines_uniform",
+    algorithms=(AlgorithmSweep.make("class-oblivious-list"),
+                AlgorithmSweep.make("class-aware-greedy"),
+                AlgorithmSweep.make("lpt-with-setups"),
+                AlgorithmSweep.make("best-machine")),
+    scales={"quick": ScalePreset(max_points=3), "full": ScalePreset()},
+)
+
+E7_UNRELATED_SPEC = ScenarioSpec(
+    name="e7-baselines-unrelated",
+    suite="e7_baselines_unrelated",
+    algorithms=(AlgorithmSweep.make("class-oblivious-list"),
+                AlgorithmSweep.make("class-aware-greedy"),
+                AlgorithmSweep.make("best-machine")),
+    scales={"quick": ScalePreset(max_points=2), "full": ScalePreset()},
+)
+
+
 def experiment_e7_baselines(scale: str = "quick") -> ResultTable:
     """Class-aware vs class-oblivious scheduling across setup regimes."""
-    quick = scale == "quick"
     table = ResultTable(
         title="E7: class-aware vs class-oblivious baselines across setup regimes",
         columns=["environment", "setup_regime", "reference", "class_oblivious_ratio",
                  "class_aware_ratio", "lpt_with_setups_ratio", "best_machine_ratio"],
     )
-    runner = get_runner()
+    session = Session()
 
-    uniform_points = _limit(iter_suite(SUITES["e7_baselines_uniform"]), quick, 3)
-    uniform_instances = [inst for _params, _seed, inst in uniform_points]
-    uniform_batch = runner.run(
-        ["class-oblivious-list", "class-aware-greedy", "lpt-with-setups", "best-machine"],
-        uniform_instances).raise_for_failures()
-    oblivious = uniform_batch.by_algorithm("class-oblivious-list")
-    aware = uniform_batch.by_algorithm("class-aware-greedy")
-    lpt = uniform_batch.by_algorithm("lpt-with-setups")
-    best = uniform_batch.by_algorithm("best-machine")
-    for idx, (params, seed, inst) in enumerate(uniform_points):
+    uniform_run = session.run(E7_UNIFORM_SPEC, scale=scale)
+    oblivious = uniform_run.by_algorithm("class-oblivious-list")
+    aware = uniform_run.by_algorithm("class-aware-greedy")
+    lpt = uniform_run.by_algorithm("lpt-with-setups")
+    best = uniform_run.by_algorithm("best-machine")
+    for idx, (params, seed, inst) in enumerate(uniform_run.points):
         ref = reference_makespan(inst, exact_limit=600)
         table.add_row(
             environment="uniform", setup_regime=params.get("setup_regime"),
@@ -408,15 +364,11 @@ def experiment_e7_baselines(scale: str = "quick") -> ResultTable:
             best_machine_ratio=best[idx].ratio_to(ref.value),
         )
 
-    unrelated_points = _limit(iter_suite(SUITES["e7_baselines_unrelated"]), quick, 2)
-    unrelated_instances = [inst for _params, _seed, inst in unrelated_points]
-    unrelated_batch = runner.run(
-        ["class-oblivious-list", "class-aware-greedy", "best-machine"],
-        unrelated_instances).raise_for_failures()
-    oblivious = unrelated_batch.by_algorithm("class-oblivious-list")
-    aware = unrelated_batch.by_algorithm("class-aware-greedy")
-    best = unrelated_batch.by_algorithm("best-machine")
-    for idx, (params, seed, inst) in enumerate(unrelated_points):
+    unrelated_run = session.run(E7_UNRELATED_SPEC, scale=scale)
+    oblivious = unrelated_run.by_algorithm("class-oblivious-list")
+    aware = unrelated_run.by_algorithm("class-aware-greedy")
+    best = unrelated_run.by_algorithm("best-machine")
+    for idx, (params, seed, inst) in enumerate(unrelated_run.points):
         ref = reference_makespan(inst, exact_limit=600)
         setup_range = params.get("setup_range", (1.0, 100.0))
         regime = "dominant" if setup_range[0] >= 50 else "small"
@@ -436,7 +388,7 @@ def experiment_e7_baselines(scale: str = "quick") -> ResultTable:
 # E8 — dual approximation search behaviour
 # ---------------------------------------------------------------------------
 def _e8_rows(args: Tuple[Instance, Tuple[float, ...]]) -> List[Dict[str, object]]:
-    """All dual-search probes of one instance (module-level for ``runner.map``).
+    """All dual-search probes of one instance (module-level for ``Session.map``).
 
     Grouped per instance so the bounds are computed once and the instance
     is shipped to the pool once, not once per precision.
@@ -471,10 +423,11 @@ def experiment_e8_dual_search(scale: str = "quick") -> ResultTable:
                  "final_gap"],
     )
     precisions = [0.1, 0.02] if quick else [0.2, 0.1, 0.05, 0.02, 0.01]
-    probes = [(inst, tuple(precisions))
-              for _params, _seed, inst in _limit(iter_suite(SUITES["e8_dual_search"]),
-                                                 quick, 2)]
-    for rows in get_runner().map(_e8_rows, probes):
+    points = list(iter_suite(SUITES["e8_dual_search"]))
+    if quick:
+        points = points[:2]
+    probes = [(inst, tuple(precisions)) for _params, _seed, inst in points]
+    for rows in Session().map(_e8_rows, probes):
         for row in rows:
             table.add_row(**row)
     table.add_note("expected shape: iterations grow logarithmically as the precision shrinks; "
@@ -485,27 +438,38 @@ def experiment_e8_dual_search(scale: str = "quick") -> ResultTable:
 # ---------------------------------------------------------------------------
 # E9 — scalability
 # ---------------------------------------------------------------------------
+E9_SPEC = ScenarioSpec(
+    name="e9-scalability",
+    suite="e9_scalability",
+    algorithms=(AlgorithmSweep.make("lpt-with-setups"),
+                AlgorithmSweep.make("class-aware-greedy"),
+                AlgorithmSweep.make("ptas-uniform", {"epsilon": 0.25})),
+    scales={"quick": ScalePreset(max_points=2), "full": ScalePreset()},
+)
+
+
 def experiment_e9_scalability(scale: str = "quick") -> ResultTable:
     """Runtime of the polynomial-time algorithms as n, m, K grow.
 
-    Uses a dedicated single-worker runner: the measured quantity *is* the
-    per-task runtime, and concurrent siblings on a process pool would
-    contaminate it with cache/bandwidth contention.
+    Uses a dedicated single-worker runner (``Session.build_runner``): the
+    measured quantity *is* the per-task runtime, and concurrent siblings
+    on a process pool would contaminate it with cache/bandwidth
+    contention.
     """
-    quick = scale == "quick"
     table = ResultTable(
         title="E9: runtime scalability of the polynomial-time algorithms",
         columns=["n", "m", "K", "lpt_s", "greedy_s", "ptas_eps0.25_s", "lp_lower_bound_s"],
     )
-    points = _limit(iter_suite(SUITES["e9_scalability"]), quick, 2)
-    instances = [inst for _params, _seed, inst in points]
-    batch = BatchRunner(max_workers=1, cache=False).run(
-        ["lpt-with-setups", "class-aware-greedy", ("ptas-uniform", {"epsilon": 0.25})],
-        instances).raise_for_failures()
-    lpt = batch.by_algorithm("lpt-with-setups")
-    greedy = batch.by_algorithm("class-aware-greedy")
-    ptas = batch.by_algorithm("ptas-uniform")
-    for idx, (params, seed, inst) in enumerate(points):
+    session = Session()
+    compiled = E9_SPEC.compile(scale)
+    runner = session.build_runner(max_workers=1, cache=False, store=None,
+                                  backend=None)
+    batch = runner.run_tasks(compiled.tasks).raise_for_failures()
+    run = _scenario_run_over(compiled, batch)
+    lpt = run.by_algorithm("lpt-with-setups")
+    greedy = run.by_algorithm("class-aware-greedy")
+    ptas = run.by_algorithm("ptas-uniform")
+    for idx, (params, seed, inst) in enumerate(compiled.points):
         t_lp = float("nan")
         if inst.num_jobs * inst.num_machines <= 20000:
             t0 = time.perf_counter()
@@ -521,11 +485,20 @@ def experiment_e9_scalability(scale: str = "quick") -> ResultTable:
     return table
 
 
+def _scenario_run_over(compiled, batch):
+    """A :class:`~repro.api.ScenarioRun` over an externally executed batch
+    (experiments that need a bespoke runner still get aligned access)."""
+    from repro.api.session import ScenarioRun
+
+    return ScenarioRun(compiled=compiled, results=list(batch.results),
+                       wall_seconds=batch.wall_seconds)
+
+
 # ---------------------------------------------------------------------------
 # F1 — Figure 1 (speed groups)
 # ---------------------------------------------------------------------------
 def _f1_rows(args: Tuple[Instance, float]) -> List[Dict[str, object]]:
-    """Group-structure rows for one instance (shipped through ``runner.map``)."""
+    """Group-structure rows for one instance (shipped through ``Session.map``)."""
     inst, eps = args
     ptas_params = PTASParams(epsilon=eps)
     guess = makespan_bounds(inst).upper
@@ -548,7 +521,6 @@ def _f1_rows(args: Tuple[Instance, float]) -> List[Dict[str, object]]:
 
 def experiment_f1_speed_groups(scale: str = "quick") -> ResultTable:
     """Regenerate the structural content of Figure 1 for a generated instance."""
-    quick = scale == "quick"
     spec = SUITES["f1_speed_groups"]
     params, seed, inst = next(iter(iter_suite(spec)))
     table = ResultTable(
@@ -556,7 +528,7 @@ def experiment_f1_speed_groups(scale: str = "quick") -> ResultTable:
         columns=["group", "speed_low", "speed_high", "num_machines", "classes_with_core_group",
                  "fringe_jobs_native_here"],
     )
-    for rows in get_runner().map(_f1_rows, [(inst, 0.25)]):
+    for rows in Session().map(_f1_rows, [(inst, 0.25)]):
         for row in rows:
             table.add_row(**row)
     table.add_note("groups overlap pairwise (each speed lies in exactly two consecutive "
@@ -595,10 +567,13 @@ def experiment_f2_batch_throughput(scale: str = "quick") -> ResultTable:
     tasks = [BatchTask.make(name, inst, kwargs)
              for inst in instances for name, kwargs in F2_ALGORITHMS]
 
-    serial = BatchRunner(max_workers=1, cache=False)
+    session = Session()
+    serial = session.build_runner(max_workers=1, cache=False, store=None,
+                                  backend=None)
     serial_batch = serial.run_tasks(tasks)
     serial_batch.raise_for_failures()
-    parallel = BatchRunner(cache=False, chunk_size=2)
+    parallel = session.build_runner(cache=False, chunk_size=2, store=None,
+                                    backend=None)
     parallel_batch = parallel.run_tasks(tasks)
     parallel_batch.raise_for_failures()
 
@@ -677,6 +652,8 @@ def experiment_f3_store_warm_vs_cold(scale: str = "quick") -> ResultTable:
     The pool is forced on (even on one CPU) so the mixed row measures real
     fork/dispatch latency, and the cost model fitted from the cold pass
     orders the mixed pass's cold tasks by descending predicted cost.
+    Runners come from a store-configured :class:`Session`
+    (``build_runner``: fresh in-memory cache per pass, shared disk store).
     """
     import shutil
     import tempfile
@@ -697,9 +674,11 @@ def experiment_f3_store_warm_vs_cold(scale: str = "quick") -> ResultTable:
 
     store_dir = Path(tempfile.mkdtemp(prefix="repro-f3-"))
     store_path = store_dir / "f3_store.sqlite"
+    session = Session(store_path=str(store_path))
 
     def fresh_runner() -> BatchRunner:
-        return BatchRunner(store=store_path, use_processes=True, chunk_size=2)
+        return session.build_runner(use_processes=True, chunk_size=2,
+                                    backend=None)
 
     table = ResultTable(
         title="F3: persistent result store — warm vs cold grid re-runs",
@@ -783,6 +762,9 @@ def experiment_f4_queue_workers(scale: str = "quick") -> ResultTable:
     (store-mediated dedup: two workers on one file never compute a cache
     key twice).  On a 1-CPU host the workers interleave instead of
     parallelising — correctness, not speedup, is the quantity under test.
+    Both runners are built by :class:`Session` facades: the serial
+    reference from a store-less config, the coordinator from a
+    queue-backend config with its options in ``backend_options``.
     """
     import shutil
     import subprocess
@@ -805,7 +787,8 @@ def experiment_f4_queue_workers(scale: str = "quick") -> ResultTable:
                  "computed", "duplicate_computes", "digest12"],
     )
 
-    serial = BatchRunner(max_workers=1, backend="serial", cache=False)
+    serial = Session(backend="serial").build_runner(max_workers=1,
+                                                    cache=False, store=None)
     serial_batch = serial.run_tasks(tasks).raise_for_failures()
     serial_digest = result_digest(serial_batch.results)
     table.add_row(mode="serial", workers=0, tasks=len(serial_batch),
@@ -827,10 +810,11 @@ def experiment_f4_queue_workers(scale: str = "quick") -> ResultTable:
                  "--store", str(store_path), "--worker-id", f"f4-worker-{i}",
                  "--idle-exit", "20", "--poll-s", "0.02"],
                 env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL))
-        coordinator = BatchRunner(
-            max_workers=1, store=store_path, backend="queue",
+        coordinator = Session(
+            store_path=str(store_path), backend="queue",
             backend_options={"inline": False, "poll_s": 0.02,
-                             "stall_timeout_s": 120.0})
+                             "stall_timeout_s": 120.0},
+        ).build_runner(max_workers=1)
         queue_batch = coordinator.run_tasks(tasks).raise_for_failures()
         queue_digest = result_digest(queue_batch.results)
         queue = TaskQueue(store_path)
@@ -869,7 +853,7 @@ def experiment_f5_supervisor(scale: str = "quick") -> ResultTable:
     Runs one deterministic task grid twice:
 
     * ``serial`` — the in-process :class:`SerialBackend`, the semantic
-      reference;
+      reference (built by a :class:`Session` facade);
     * ``supervised`` — tasks enqueued into a fresh store file's
       ``task_queue`` with a per-task ``budget_s`` stamped on every row,
       then drained by a :class:`~repro.runtime.supervisor.Supervisor`
@@ -911,7 +895,8 @@ def experiment_f5_supervisor(scale: str = "quick") -> ResultTable:
                  "retired", "budgeted", "over_budget", "digest12"],
     )
 
-    serial = BatchRunner(max_workers=1, backend="serial", cache=False)
+    serial = Session(backend="serial").build_runner(max_workers=1,
+                                                    cache=False, store=None)
     serial_batch = serial.run_tasks(tasks).raise_for_failures()
     serial_digest = result_digest(serial_batch.results)
     table.add_row(mode="serial", max_workers=0, tasks=len(serial_batch),
@@ -994,8 +979,9 @@ def run_experiment(experiment_id: str, scale: str = "quick",
     """Run one experiment by id (``"E1"`` … ``"E9"``, ``"F1"``–``"F5"``).
 
     ``store_path`` attaches a persistent result store to the shared runner
-    (see :func:`get_runner`) so sweep results are reused across processes;
-    F2/F3/F4/F5/E9 manage their own runners and stores by design.
+    pool (see :func:`repro.runtime.pool.get_runner`) so sweep results are
+    reused across processes; F2/F3/F4/F5/E9 manage their own runners and
+    stores by design.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:

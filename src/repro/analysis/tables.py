@@ -6,10 +6,30 @@ same objects back the summaries recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["ResultTable"]
+
+
+def _plain(value: object) -> object:
+    """A JSON/CSV-serializable rendering of one cell value.
+
+    Numpy scalars (the experiment code's ``np.mean`` outputs and
+    ``Instance`` dimensions) become their Python equivalents so exports
+    round-trip through :func:`json.loads` to *equal* values.
+    """
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()  # numpy scalar -> python scalar
+        except (AttributeError, ValueError):  # pragma: no cover - defensive
+            pass
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    return value
 
 
 @dataclass
@@ -82,6 +102,52 @@ class ResultTable:
         out = [f"**{self.title}**", "", header, sep, *rows]
         out.extend(f"*{note}*" for note in self.notes)
         return "\n".join(out)
+
+    # ------------------------------------------------------------------
+    # export (used by `python -m repro run --export`)
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Render as CSV text: a header row, then one line per row.
+
+        Cells carry raw values (``str(value)``, full float precision),
+        not the display formatting of :meth:`render` — an exported table
+        is data to reload, not text to align.  Missing cells are empty.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow(["" if row.get(col) is None
+                             else str(_plain(row.get(col)))
+                             for col in self.columns])
+        return buffer.getvalue()
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Render as a JSON document: title, columns, rows, notes.
+
+        Lossless up to numpy-scalar conversion: ``from_json(to_json(t))``
+        equals ``t`` for tables whose cells are plain scalars (NaN uses
+        the JavaScript-style ``NaN`` token Python's json module emits and
+        accepts).
+        """
+        payload = {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [{key: _plain(value) for key, value in row.items()}
+                     for row in self.rows],
+            "notes": list(self.notes),
+        }
+        return json.dumps(payload, indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        """Rebuild a table from :meth:`to_json` output."""
+        payload = json.loads(text)
+        table = cls(title=payload["title"], columns=list(payload["columns"]),
+                    notes=list(payload.get("notes", ())))
+        for row in payload.get("rows", ()):
+            table.add_row(**row)
+        return table
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         return self.render()

@@ -1,0 +1,240 @@
+"""Minimal TOML reader used when :mod:`tomllib` is unavailable (< 3.11).
+
+Scenario spec files exercise a small, regular slice of TOML — tables,
+arrays of tables, dotted headers, and scalar/array/inline-table values —
+so a compact fallback keeps ``python -m repro run scenario.toml`` working
+on every interpreter ``setup.cfg`` claims (>= 3.9).  On 3.11+ the stdlib
+parser is used and this module only backs the parity test
+(``tests/test_api_spec.py`` asserts both parsers agree on every file
+under ``scenarios/``).
+
+Supported: ``[table]`` / ``[[array.of.tables]]`` headers (bare or quoted,
+dotted), ``key = value`` lines (bare/quoted keys, dotted paths), basic
+``"..."`` and literal ``'...'`` strings, integers, floats (``inf``/``nan``
+included), booleans, arrays (multi-line allowed), inline tables, and
+``#`` comments.  Unsupported TOML (dates, multi-line strings) raises
+``TOMLDecodeError`` rather than mis-parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["loads", "TOMLDecodeError"]
+
+
+class TOMLDecodeError(ValueError):
+    """Raised for malformed (or unsupported) TOML input."""
+
+
+_ESCAPES = {'"': '"', "\\": "\\", "b": "\b", "f": "\f", "n": "\n",
+            "r": "\r", "t": "\t", "/": "/"}
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment, honouring ``#`` characters inside strings."""
+    quote = None
+    escaped = False
+    for i, ch in enumerate(line):
+        if quote:
+            if escaped:
+                escaped = False
+            elif ch == "\\" and quote == '"':
+                escaped = True
+            elif ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+        elif ch == "#":
+            return line[:i]
+    return line
+
+
+def _parse_basic_string(text: str, pos: int) -> Tuple[str, int]:
+    out: List[str] = []
+    i = pos + 1
+    while i < len(text):
+        ch = text[i]
+        if ch == '"':
+            return "".join(out), i + 1
+        if ch == "\\":
+            i += 1
+            if i >= len(text):
+                break
+            esc = text[i]
+            if esc in _ESCAPES:
+                out.append(_ESCAPES[esc])
+            elif esc in "uU":
+                width = 4 if esc == "u" else 8
+                out.append(chr(int(text[i + 1:i + 1 + width], 16)))
+                i += width
+            else:
+                raise TOMLDecodeError(f"unsupported escape \\{esc}")
+        else:
+            out.append(ch)
+        i += 1
+    raise TOMLDecodeError("unterminated string")
+
+
+def _parse_literal_string(text: str, pos: int) -> Tuple[str, int]:
+    end = text.find("'", pos + 1)
+    if end < 0:
+        raise TOMLDecodeError("unterminated literal string")
+    return text[pos + 1:end], end + 1
+
+
+def _skip_ws(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos] in " \t\n":
+        pos += 1
+    return pos
+
+
+def _parse_scalar(token: str) -> Any:
+    if token in ("true", "false"):
+        return token == "true"
+    cleaned = token.replace("_", "")
+    try:
+        return int(cleaned, 0)
+    except ValueError:
+        pass
+    try:
+        return float(cleaned)
+    except ValueError:
+        raise TOMLDecodeError(f"unsupported TOML value {token!r}") from None
+
+
+def _parse_value(text: str, pos: int) -> Tuple[Any, int]:
+    pos = _skip_ws(text, pos)
+    if pos >= len(text):
+        raise TOMLDecodeError("missing value")
+    ch = text[pos]
+    if ch == '"':
+        if text.startswith('"""', pos):
+            raise TOMLDecodeError("multi-line strings are not supported")
+        return _parse_basic_string(text, pos)
+    if ch == "'":
+        if text.startswith("'''", pos):
+            raise TOMLDecodeError("multi-line strings are not supported")
+        return _parse_literal_string(text, pos)
+    if ch == "[":
+        items: List[Any] = []
+        pos = _skip_ws(text, pos + 1)
+        while pos < len(text) and text[pos] != "]":
+            value, pos = _parse_value(text, pos)
+            items.append(value)
+            pos = _skip_ws(text, pos)
+            if pos < len(text) and text[pos] == ",":
+                pos = _skip_ws(text, pos + 1)
+        if pos >= len(text):
+            raise TOMLDecodeError("unterminated array")
+        return items, pos + 1
+    if ch == "{":
+        table: Dict[str, Any] = {}
+        pos = _skip_ws(text, pos + 1)
+        while pos < len(text) and text[pos] != "}":
+            path, pos = _parse_key(text, pos)
+            pos = _skip_ws(text, pos)
+            if pos >= len(text) or text[pos] != "=":
+                raise TOMLDecodeError("malformed inline table")
+            value, pos = _parse_value(text, pos + 1)
+            _assign(table, path, value)
+            pos = _skip_ws(text, pos)
+            if pos < len(text) and text[pos] == ",":
+                pos = _skip_ws(text, pos + 1)
+        if pos >= len(text):
+            raise TOMLDecodeError("unterminated inline table")
+        return table, pos + 1
+    # Bare scalar: runs to the next delimiter.
+    end = pos
+    while end < len(text) and text[end] not in ",]}\n \t":
+        end += 1
+    return _parse_scalar(text[pos:end]), end
+
+
+def _parse_key(text: str, pos: int) -> Tuple[List[str], int]:
+    """A (possibly dotted, possibly quoted) key path."""
+    path: List[str] = []
+    while True:
+        pos = _skip_ws(text, pos)
+        if pos < len(text) and text[pos] == '"':
+            part, pos = _parse_basic_string(text, pos)
+        elif pos < len(text) and text[pos] == "'":
+            part, pos = _parse_literal_string(text, pos)
+        else:
+            end = pos
+            while end < len(text) and (text[end].isalnum() or text[end] in "-_"):
+                end += 1
+            part, pos = text[pos:end], end
+        if not part:
+            raise TOMLDecodeError("empty key")
+        path.append(part)
+        pos = _skip_ws(text, pos)
+        if pos < len(text) and text[pos] == ".":
+            pos += 1
+            continue
+        return path, pos
+
+
+def _descend(root: Dict[str, Any], path: List[str]) -> Dict[str, Any]:
+    node = root
+    for part in path:
+        nxt = node.setdefault(part, {})
+        if isinstance(nxt, list):  # [[x]] then [x.y]: descend into last
+            nxt = nxt[-1]
+        if not isinstance(nxt, dict):
+            raise TOMLDecodeError(f"key {part!r} is not a table")
+        node = nxt
+    return node
+
+
+def _assign(node: Dict[str, Any], path: List[str], value: Any) -> None:
+    node = _descend(node, path[:-1])
+    if path[-1] in node:
+        raise TOMLDecodeError(f"duplicate key {path[-1]!r}")
+    node[path[-1]] = value
+
+
+def loads(text: str) -> Dict[str, Any]:
+    """Parse TOML text into nested dicts/lists (subset; see module doc)."""
+    root: Dict[str, Any] = {}
+    current = root
+    lines = text.split("\n")
+    i = 0
+    while i < len(lines):
+        line = _strip_comment(lines[i]).strip()
+        i += 1
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TOMLDecodeError(f"malformed table header: {line}")
+            path, _ = _parse_key(line[2:-2], 0)
+            parent = _descend(root, path[:-1])
+            array = parent.setdefault(path[-1], [])
+            if not isinstance(array, list):
+                raise TOMLDecodeError(f"key {path[-1]!r} is not an array of tables")
+            array.append({})
+            current = array[-1]
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise TOMLDecodeError(f"malformed table header: {line}")
+            path, _ = _parse_key(line[1:-1], 0)
+            current = _descend(root, path)
+            continue
+        path, pos = _parse_key(line, 0)
+        if pos >= len(line) or line[pos] != "=":
+            raise TOMLDecodeError(f"expected '=' in line: {line}")
+        value_text = line[pos + 1:]
+        # Arrays may span physical lines: accumulate until brackets balance
+        # (bracket characters inside strings are handled by the value
+        # parser itself; the cheap balance check only decides when to stop
+        # joining lines, and strings in spec files never contain brackets).
+        while value_text.count("[") > value_text.count("]") and i < len(lines):
+            value_text += "\n" + _strip_comment(lines[i])
+            i += 1
+        value, end = _parse_value(value_text, 0)
+        if value_text[end:].strip():
+            raise TOMLDecodeError(f"trailing junk after value: {line}")
+        _assign(current, path, value)
+    return root

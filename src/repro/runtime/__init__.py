@@ -28,10 +28,16 @@ This package turns the loose algorithm functions of
   stamped by the submitter and enforced by whichever worker leases the
   row).
 * :mod:`repro.runtime.supervisor` — ``python -m repro.runtime.supervisor``
-  autoscales the worker fleet: spawn on queue depth, restart crashed
-  workers behind an exponential backoff with a consecutive-crash cap,
-  retire on idle, exit when the queue drains.  Submitters opt in with
+  autoscales the worker fleet: spawn on queue depth (optionally weighted
+  by the cost model's predicted seconds via ``--spawn-horizon-s`` —
+  spawn for *work*, not for rows), restart crashed workers behind an
+  exponential backoff with a consecutive-crash cap, retire on idle, exit
+  when the queue drains.  Submitters opt in with
   ``QueueBackend(autoscale=N)`` / ``REPRO_AUTOSCALE=N``.
+* :mod:`repro.runtime.pool` — :func:`get_runner`, the canonical keyed
+  runner pool (one runner per ``(store, backend)`` pair, shared
+  ``ResultStore`` handles) that :class:`repro.api.Session` and the
+  experiment harness resolve runners through.
 
 Quickstart
 ----------
@@ -60,6 +66,7 @@ from repro.runtime.backends import (
     QueueBackend,
     SerialBackend,
 )
+from repro.runtime.pool import get_runner, reset_runner_pool
 from repro.runtime.registry import (
     AlgorithmSpec,
     algorithm_names,
@@ -100,6 +107,8 @@ __all__ = [
     "BatchTask",
     "BatchResult",
     "BatchRunner",
+    "get_runner",
+    "reset_runner_pool",
     "instance_fingerprint",
     "usable_cpus",
     "ExecutionBackend",

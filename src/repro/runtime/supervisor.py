@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import math
 import os
 import shlex
 import signal
@@ -78,6 +79,14 @@ class SupervisorPolicy:
         starts will keep dying; forking it forever helps nobody.  A clean
         (rc 0) exit proves the fleet can make progress and resets the
         counter.
+    spawn_horizon_s:
+        Cost-weighted scaling: spawn one worker per this many *predicted
+        seconds* of queued work (the cost-model ``predicted_s`` the
+        submitter stamped on each row), instead of one per outstanding
+        row.  A 50-row grid of 20ms tasks is one worker's next second of
+        work, not 50 forks.  ``None`` (default) keeps depth-proportional
+        scaling; rows without a prediction count ``spawn_horizon_s``
+        each, i.e. unknown work still earns a worker of its own.
     clock:
         Time source (``time.monotonic`` unless overridden); tests inject
         a :class:`~repro.testing.clock.FakeClock`.
@@ -86,11 +95,16 @@ class SupervisorPolicy:
     def __init__(self, *, max_workers: int, idle_grace_s: float = 1.0,
                  restart_backoff_s: float = 0.5, backoff_factor: float = 2.0,
                  max_backoff_s: float = 30.0, restart_cap: int = 5,
+                 spawn_horizon_s: Optional[float] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if restart_cap < 1:
             raise ValueError("restart_cap must be >= 1")
+        if spawn_horizon_s is not None and spawn_horizon_s <= 0:
+            raise ValueError("spawn_horizon_s must be > 0 (or None)")
+        self.spawn_horizon_s = (float(spawn_horizon_s)
+                                if spawn_horizon_s is not None else None)
         self.max_workers = int(max_workers)
         self.idle_grace_s = float(idle_grace_s)
         self.restart_backoff_s = float(restart_backoff_s)
@@ -109,7 +123,8 @@ class SupervisorPolicy:
     # ------------------------------------------------------------------
     # decisions
     # ------------------------------------------------------------------
-    def scale(self, *, queued: int, leased: int, live: int) -> int:
+    def scale(self, *, queued: int, leased: int, live: int,
+              queued_work_s: Optional[float] = None) -> int:
         """The worker-count delta for this tick.
 
         Positive: spawn that many workers (depth demands them, crash
@@ -118,12 +133,24 @@ class SupervisorPolicy:
         includes the case of more live workers than outstanding tasks
         while work remains: busy workers are never culled mid-task, they
         retire themselves (or idle out) when the queue empties.
+
+        ``queued_work_s`` (the predicted seconds sitting in ``queued``
+        rows, from :meth:`TaskQueue.queued_work_seconds`) activates
+        cost-weighted scaling when ``spawn_horizon_s`` is set: the fleet
+        target becomes ``ceil(queued_work_s / spawn_horizon_s)`` workers
+        for the queued work plus one per leased row — never more than
+        depth-proportional scaling would spawn, never less than one
+        while work is outstanding.
         """
         now = self._clock()
         outstanding = queued + leased
         if outstanding > 0:
             self._idle_since = None
             desired = min(self.max_workers, outstanding)
+            if self.spawn_horizon_s is not None and queued_work_s is not None:
+                weighted = (math.ceil(queued_work_s / self.spawn_horizon_s)
+                            + leased)
+                desired = min(desired, max(1, weighted))
             if live >= desired or self.exhausted or now < self._backoff_until:
                 return 0
             return desired - live
@@ -198,6 +225,11 @@ class Supervisor:
         the spawned workers (kept identical so expiry judgements agree).
     poll_s:
         Supervisor tick interval.
+    spawn_horizon_s:
+        Cost-weighted scaling (forwarded to the default policy): spawn
+        one worker per this many predicted seconds of queued work
+        instead of one per row.  ``None`` keeps depth-proportional
+        scaling.
     worker_module:
         The ``python -m`` module spawned as a worker
         (``repro.runtime.worker``; tests substitute
@@ -225,6 +257,7 @@ class Supervisor:
                  lease_s: float = 60.0, poll_s: float = 0.2,
                  idle_grace_s: float = 1.0, restart_backoff_s: float = 0.5,
                  restart_cap: int = 5,
+                 spawn_horizon_s: Optional[float] = None,
                  worker_module: str = "repro.runtime.worker",
                  worker_args: Sequence[str] = (),
                  worker_env: Optional[Dict[str, str]] = None,
@@ -239,7 +272,8 @@ class Supervisor:
             policy = SupervisorPolicy(max_workers=max_workers,
                                       idle_grace_s=idle_grace_s,
                                       restart_backoff_s=restart_backoff_s,
-                                      restart_cap=restart_cap)
+                                      restart_cap=restart_cap,
+                                      spawn_horizon_s=spawn_horizon_s)
         self.policy = policy
         self.lease_s = float(lease_s)
         self.poll_s = float(poll_s)
@@ -288,6 +322,12 @@ class Supervisor:
                             f"backoff {self.policy.backoff_remaining:.2f}s")
                 counts = queue.counts()
                 outstanding = counts["queued"] + counts["leased"]
+                queued_work_s = None
+                if self.policy.spawn_horizon_s is not None:
+                    # Unknown-prediction rows count a full horizon each:
+                    # unpredicted work still earns its own worker.
+                    _, queued_work_s = queue.queued_work_seconds(
+                        default_s=self.policy.spawn_horizon_s)
                 self.policy.note_progress(counts["done"])
                 if outstanding == 0 and not workers:
                     self.summary["drained"] = True
@@ -311,7 +351,8 @@ class Supervisor:
                     return dict(self.summary)
                 delta = self.policy.scale(queued=counts["queued"],
                                           leased=counts["leased"],
-                                          live=len(workers))
+                                          live=len(workers),
+                                          queued_work_s=queued_work_s)
                 if delta > 0:
                     for _ in range(delta):
                         seq += 1
@@ -388,6 +429,7 @@ def child_env() -> Dict[str, str]:
 
 def spawn_supervisor(store_path: Union[str, Path], *, max_workers: int,
                      lease_s: float = 60.0,
+                     spawn_horizon_s: Optional[float] = None,
                      extra_args: Sequence[str] = ()) -> subprocess.Popen:
     """Start ``python -m repro.runtime.supervisor`` as a subprocess.
 
@@ -399,7 +441,10 @@ def spawn_supervisor(store_path: Union[str, Path], *, max_workers: int,
     """
     cmd = [sys.executable, "-m", "repro.runtime.supervisor",
            "--store", str(store_path), "--max-workers", str(max_workers),
-           "--lease-s", str(lease_s), *extra_args]
+           "--lease-s", str(lease_s)]
+    if spawn_horizon_s is not None:
+        cmd += ["--spawn-horizon-s", str(spawn_horizon_s)]
+    cmd += list(extra_args)
     return subprocess.Popen(cmd, env=child_env(), stdout=subprocess.DEVNULL)
 
 
@@ -425,6 +470,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--restart-cap", type=int, default=5,
                         help="consecutive crashes before giving up "
                              "(default: 5)")
+    parser.add_argument("--spawn-horizon-s", type=float, default=0.0,
+                        help="cost-weighted scaling: spawn one worker per "
+                             "this many predicted seconds of queued work "
+                             "(0 disables: one worker per outstanding row)")
     parser.add_argument("--worker-module", default="repro.runtime.worker",
                         help="python -m module to spawn as workers")
     parser.add_argument("--worker-args", default="", metavar="ARGS",
@@ -452,7 +501,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.store, max_workers=args.max_workers, lease_s=args.lease_s,
         poll_s=args.poll_s, idle_grace_s=args.idle_grace_s,
         restart_backoff_s=args.restart_backoff_s,
-        restart_cap=args.restart_cap, worker_module=args.worker_module,
+        restart_cap=args.restart_cap,
+        spawn_horizon_s=(args.spawn_horizon_s
+                         if args.spawn_horizon_s > 0 else None),
+        worker_module=args.worker_module,
         worker_args=shlex.split(args.worker_args),
         worker_idle_exit=args.worker_idle_exit,
         worker_poll_s=args.worker_poll_s)

@@ -69,7 +69,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
-                    Union)
+                    Tuple, Union)
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep the package cheap
     from repro.runtime.runner import BatchTask
@@ -78,8 +78,10 @@ __all__ = ["TaskQueue", "LeasedTask", "QueueRow", "QUEUE_SCHEMA_VERSION"]
 
 #: Bump when the ``task_queue`` layout changes; older queues are migrated
 #: (rows salvaged, in-flight work re-armed) on open.  Version 2 added the
-#: per-task ``budget_s`` column.
-QUEUE_SCHEMA_VERSION = 2
+#: per-task ``budget_s`` column; version 3 added ``predicted_s`` (the raw
+#: cost-model runtime prediction, feeding cost-weighted supervisor
+#: scaling).
+QUEUE_SCHEMA_VERSION = 3
 
 #: SQLite caps host parameters per statement (999 on older builds); bulk
 #: SELECTs are chunked below this (matches result_store._MAX_SQL_PARAMS).
@@ -100,6 +102,7 @@ _SCHEMA_STATEMENTS = (
     excluded_worker TEXT,
     error           TEXT,
     budget_s        REAL,
+    predicted_s     REAL,
     enqueued_at     REAL NOT NULL,
     updated_at      REAL NOT NULL
 )""",
@@ -118,8 +121,8 @@ _SCHEMA = ";\n".join(_SCHEMA_STATEMENTS) + ";"
 #: the open through the migration path.
 _EXPECTED_COLUMNS = frozenset({
     "key", "task_payload", "status", "owner", "lease_expires_at", "attempts",
-    "compute_count", "excluded_worker", "error", "budget_s", "enqueued_at",
-    "updated_at"})
+    "compute_count", "excluded_worker", "error", "budget_s", "predicted_s",
+    "enqueued_at", "updated_at"})
 
 
 @dataclass(frozen=True)
@@ -144,6 +147,7 @@ class QueueRow:
     excluded_worker: Optional[str]
     error: Optional[str]
     budget_s: Optional[float] = None
+    predicted_s: Optional[float] = None
 
 
 class TaskQueue:
@@ -307,6 +311,7 @@ class TaskQueue:
     # ------------------------------------------------------------------
     def enqueue(self, tasks: Sequence["BatchTask"], *,
                 budgets: Optional[Sequence[Optional[float]]] = None,
+                predictions: Optional[Sequence[Optional[float]]] = None,
                 now: Optional[float] = None) -> List[str]:
         """Add tasks to the queue, deduplicating by cache key.
 
@@ -321,13 +326,19 @@ class TaskQueue:
         Omitting ``budgets`` entirely leaves a re-armed failed row's
         existing budget in place (the budget describes the task, not the
         attempt — same rule as :meth:`requeue`); passing ``budgets``
-        overwrites it, ``None`` entries included.
+        overwrites it, ``None`` entries included.  ``predictions``
+        aligns the cost model's *raw* predicted runtime with ``tasks``
+        (seconds, ``None`` for unknown) — pure scaling advice for the
+        supervisor (:meth:`queued_work_seconds`), never enforced — and
+        follows the same overwrite rule.
         Returns the keys this call armed (became ``queued``); keys some
         other submitter already owns are *not* in the list, which is what
         lets a submitter later cancel only its own unclaimed work.
         """
         if budgets is not None and len(budgets) != len(tasks):
             raise ValueError("budgets must align 1:1 with tasks")
+        if predictions is not None and len(predictions) != len(tasks):
+            raise ValueError("predictions must align 1:1 with tasks")
         now = self._clock() if now is None else now
         armed: List[str] = []
         with self._conn:
@@ -335,13 +346,15 @@ class TaskQueue:
                 key = task.cache_key()
                 budget = budgets[pos] if budgets is not None else None
                 budget = float(budget) if budget is not None else None
+                predicted = predictions[pos] if predictions is not None else None
+                predicted = float(predicted) if predicted is not None else None
                 payload = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
                 cur = self._conn.execute(
                     "INSERT OR IGNORE INTO task_queue"
-                    " (key, task_payload, status, budget_s, enqueued_at,"
-                    "  updated_at)"
-                    " VALUES (?, ?, 'queued', ?, ?, ?)",
-                    (key, payload, budget, now, now))
+                    " (key, task_payload, status, budget_s, predicted_s,"
+                    "  enqueued_at, updated_at)"
+                    " VALUES (?, ?, 'queued', ?, ?, ?, ?)",
+                    (key, payload, budget, predicted, now, now))
                 if cur.rowcount:
                     armed.append(key)
                     continue
@@ -350,9 +363,11 @@ class TaskQueue:
                     " owner = NULL, lease_expires_at = NULL, error = NULL,"
                     " excluded_worker = NULL,"
                     " budget_s = CASE WHEN ? THEN ? ELSE budget_s END,"
+                    " predicted_s = CASE WHEN ? THEN ? ELSE predicted_s END,"
                     " updated_at = ?"
                     " WHERE key = ? AND status = 'failed'",
-                    (1 if budgets is not None else 0, budget, now, key))
+                    (1 if budgets is not None else 0, budget,
+                     1 if predictions is not None else 0, predicted, now, key))
                 if cur.rowcount:
                     armed.append(key)
         return armed
@@ -523,7 +538,8 @@ class TaskQueue:
     def rows(self, keys: Optional[Sequence[str]] = None) -> List[QueueRow]:
         """Queue-state snapshots, for ``keys`` or the whole table."""
         sql = ("SELECT key, status, owner, attempts, compute_count,"
-               " excluded_worker, error, budget_s FROM task_queue")
+               " excluded_worker, error, budget_s, predicted_s"
+               " FROM task_queue")
         out: List[QueueRow] = []
         if keys is None:
             for row in self._conn.execute(sql + " ORDER BY key ASC"):
@@ -545,6 +561,21 @@ class TaskQueue:
                 "SELECT status, COUNT(*) FROM task_queue GROUP BY status"):
             counts[status] = int(count)
         return counts
+
+    def queued_work_seconds(self, *, default_s: float = 0.0) -> Tuple[int, float]:
+        """``(queued rows, estimated seconds of queued work)``.
+
+        Sums the cost-model ``predicted_s`` stamped on ``queued`` rows;
+        rows without a prediction count as ``default_s`` each.  This is
+        the supervisor's cost-weighted scaling signal: spawn workers for
+        *work*, not for rows — ten milliseconds-sized tasks are one
+        worker's next second, not ten forks.
+        """
+        row = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(COALESCE(predicted_s, ?)), 0)"
+            " FROM task_queue WHERE status = 'queued'",
+            (float(default_s),)).fetchone()
+        return int(row[0]), float(row[1])
 
     def outstanding(self) -> int:
         """Rows still in flight (``queued`` or ``leased``)."""

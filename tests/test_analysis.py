@@ -53,6 +53,47 @@ class TestResultTable:
         assert "nan" in text
 
 
+class TestTableExport:
+    """`to_csv` / `to_json` back the CLI's --export flag."""
+
+    def _table(self) -> ResultTable:
+        table = ResultTable("export demo", columns=["name", "x", "note"])
+        table.add_row(name="alpha", x=1.5, note="ok")
+        table.add_row(name="beta", x=np.float64(2.25))  # numpy scalar cell
+        table.add_row(name="gamma", x=float("nan"), note="")
+        table.add_note("a footnote")
+        return table
+
+    def test_json_round_trip_is_lossless(self):
+        table = self._table()
+        clone = ResultTable.from_json(table.to_json())
+        assert clone.title == table.title
+        assert clone.columns == table.columns
+        assert clone.notes == table.notes
+        assert len(clone.rows) == len(table.rows)
+        for original, restored in zip(table.rows, clone.rows):
+            assert set(original) == set(restored)
+            for key, value in original.items():
+                if isinstance(value, float) and value != value:
+                    assert restored[key] != restored[key]  # NaN survives
+                else:
+                    assert restored[key] == value  # numpy == python value
+        # And the rendered text is identical — exports are faithful.
+        assert clone.render() == table.render()
+
+    def test_csv_carries_raw_values(self):
+        import csv
+        import io
+
+        table = self._table()
+        parsed = list(csv.reader(io.StringIO(table.to_csv())))
+        assert parsed[0] == ["name", "x", "note"]
+        assert len(parsed) == 1 + len(table.rows)
+        assert parsed[1] == ["alpha", "1.5", "ok"]
+        assert parsed[2][1] == "2.25"  # full precision, no display rounding
+        assert parsed[2][2] == ""      # missing cell -> empty string
+
+
 class TestReferenceMakespan:
     def test_small_instance_uses_exact(self):
         inst = uniform_instance(10, 3, 3, seed=1, integral=True)

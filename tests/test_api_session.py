@@ -1,0 +1,232 @@
+"""The Session facade: config resolution, execution modes, runner wiring.
+
+What the facade promises:
+
+* ``SessionConfig.resolve`` layers **kwargs > environment > defaults**;
+* ``Session.runner()`` resolves through the canonical keyed pool (two
+  equally-configured sessions share one runner);
+* ``run`` / ``stream`` / ``portfolio`` execute compiled scenarios with
+  results aligned to the compile order, failures surfaced, and tables
+  honouring the spec's declared columns;
+* ``build_runner`` hands out dedicated runners (budget-carrying specs
+  never reconfigure the shared pool entry).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    AlgorithmSweep,
+    BudgetPolicy,
+    ScalePreset,
+    ScenarioSpec,
+    Session,
+    SessionConfig,
+)
+from repro.runtime import SerialBackend, pool
+
+
+@pytest.fixture(autouse=True)
+def isolated_runner_pool(monkeypatch):
+    monkeypatch.setattr(pool, "_RUNNERS", {})
+    monkeypatch.setattr(pool, "_SHARED_STORES", {})
+    monkeypatch.setattr(pool, "_DEFAULT_RUNNER", None)
+    for var in ("REPRO_RESULT_STORE", "REPRO_BACKEND", "REPRO_AUTOSCALE"):
+        monkeypatch.delenv(var, raising=False)
+    yield
+    for store in pool._SHARED_STORES.values():
+        store.close()
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        name="session-demo",
+        suite="e1_lpt_uniform",
+        algorithms=(AlgorithmSweep.make("lpt-with-setups"),
+                    AlgorithmSweep.make("class-aware-greedy")),
+        scales={"quick": ScalePreset(max_points=2)},
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestSessionConfig:
+    def test_defaults(self):
+        config = SessionConfig.resolve()
+        assert config.store_path is None
+        assert config.backend is None
+        assert config.autoscale == 0
+        assert config.cache is True
+
+    def test_environment_layer(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "env.sqlite"))
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        monkeypatch.setenv("REPRO_AUTOSCALE", "3")
+        config = SessionConfig.resolve()
+        assert config.store_path == str(tmp_path / "env.sqlite")
+        assert config.backend == "serial"
+        assert config.autoscale == 3
+
+    def test_kwargs_beat_environment(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BACKEND", "pool")
+        monkeypatch.setenv("REPRO_AUTOSCALE", "3")
+        config = SessionConfig.resolve(backend="serial", autoscale=0)
+        assert config.backend == "serial"
+        assert config.autoscale == 0
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError, match="bakend"):
+            SessionConfig.resolve(bakend="serial")
+        with pytest.raises(TypeError, match="bakend"):
+            Session(bakend="serial")
+
+    def test_session_adopts_config_with_overrides(self):
+        config = SessionConfig.resolve(backend="serial")
+        session = Session(config, max_workers=1)
+        assert session.config.backend == "serial"
+        assert session.config.max_workers == 1
+
+    def test_autoscale_feeds_queue_backend_options(self):
+        config = SessionConfig.resolve(backend="queue", autoscale=2)
+        assert config.runner_kwargs()["backend_options"]["autoscale"] == 2
+        # ...but never leaks into non-queue backends.
+        serial = SessionConfig.resolve(backend="serial", autoscale=2)
+        assert "backend_options" not in serial.runner_kwargs()
+
+
+class TestRunnerWiring:
+    def test_runner_comes_from_the_keyed_pool(self, tmp_path):
+        path = str(tmp_path / "shared.sqlite")
+        a = Session(store_path=path, backend="serial")
+        b = Session(store_path=path, backend="serial")
+        assert a.runner() is b.runner()
+        assert a.runner() is pool.get_runner(path, backend="serial")
+
+    def test_build_runner_is_dedicated(self):
+        session = Session(backend="serial")
+        assert session.build_runner() is not session.build_runner()
+        assert isinstance(session.build_runner().backend, SerialBackend)
+
+    def test_build_runner_overrides_win(self, tmp_path):
+        session = Session(store_path=str(tmp_path / "s.sqlite"),
+                          backend="serial")
+        runner = session.build_runner(store=None, max_workers=1, cache=False)
+        assert runner.store is None
+        assert runner.max_workers == 1
+        assert runner.cache_enabled is False
+
+    def test_budget_spec_gets_a_dedicated_runner(self):
+        session = Session(backend="serial")
+        shared = session.runner()
+        spec = _spec(budget=BudgetPolicy(timeout_s=30.0))
+        run = session.run(spec)
+        assert len(run) == 4
+        assert shared.timeout is None  # the pool entry was not touched
+        assert all(r.makespan < float("inf") for r in run.results)
+
+    def test_budget_spec_reuses_the_pooled_store_handle(self, tmp_path):
+        """A budget-carrying spec gets its own runner but NOT its own
+        SQLite connection: repeated runs in a long-lived process must not
+        leak one store handle per run."""
+        session = Session(store_path=str(tmp_path / "budget.sqlite"),
+                          backend="serial")
+        spec = _spec(budget=BudgetPolicy(timeout_s=30.0))
+        dedicated = session._runner_for(spec)
+        assert dedicated is not session.runner()
+        assert dedicated.timeout == 30.0
+        assert dedicated.store is session.runner().store
+
+
+class TestScenarioExecution:
+    def test_run_produces_aligned_results_and_nonempty_table(self):
+        session = Session(backend="serial")
+        run = session.run(_spec())
+        assert len(run) == 4  # 2 algorithms x 2 points
+        lpt = run.by_algorithm("lpt-with-setups")
+        greedy = run.by_algorithm("class-aware-greedy")
+        assert [r.name for r in lpt] == ["lpt-with-setups"] * 2
+        assert [r.name for r in greedy] == ["class-aware-greedy"] * 2
+        table = run.table()
+        assert len(table.rows) == 4
+        assert "algorithm" in table.columns
+
+    def test_declared_columns_select_and_order(self):
+        spec = _spec(columns=("makespan", "algorithm"))
+        table = Session(backend="serial").run(spec).table()
+        assert table.columns == ["makespan", "algorithm"]
+
+    def test_unknown_declared_column_rejected(self):
+        spec = _spec(columns=("algorithm", "no_such_column"))
+        with pytest.raises(ValueError, match="no_such_column"):
+            Session(backend="serial").run(spec).table()
+
+    def test_stream_yields_every_task_with_provenance(self):
+        session = Session(backend="serial")
+        spec = _spec()
+        seen = list(session.stream(spec))
+        assert len(seen) == 4
+        for info, result in seen:
+            assert info.algorithm == result.name
+
+    def test_portfolio_winner_never_loses_to_a_candidate(self):
+        spec = ScenarioSpec(
+            name="portfolio-demo",
+            suite="e1_lpt_uniform",
+            mode="portfolio",
+            algorithms=(AlgorithmSweep.make("lpt-with-setups"),
+                        AlgorithmSweep.make("lpt-class-oblivious"),
+                        AlgorithmSweep.make("class-aware-greedy")),
+            scales={"quick": ScalePreset(max_points=2)},
+        )
+        session = Session(backend="serial")
+        portfolio = session.portfolio(spec)
+        assert len(portfolio) == 2  # one winner per instance
+        grid = session.run(_spec(mode="grid"))
+        for idx, winner in enumerate(portfolio.results):
+            for candidate in (grid.by_algorithm("lpt-with-setups"),
+                              grid.by_algorithm("class-aware-greedy")):
+                assert winner.makespan <= candidate[idx].makespan
+        table = portfolio.table()
+        assert "winner" in table.columns
+        assert len(table.rows) == 2
+
+    def test_grid_ambiguity_requires_pinned_params(self):
+        spec = _spec(algorithms=(
+            AlgorithmSweep.make("ptas-uniform", {"epsilon": [0.5, 0.25]}),))
+        run = Session(backend="serial").run(spec)
+        with pytest.raises(ValueError, match="ambiguous"):
+            run.by_algorithm("ptas-uniform")
+        pinned = run.by_algorithm("ptas-uniform", epsilon=0.5)
+        assert len(pinned) == 2
+
+    def test_reference_ratios_populate_the_table(self):
+        from repro.api import ReferencePolicy
+
+        spec = ScenarioSpec(
+            name="ref-demo",
+            suite="e2_ptas_uniform",
+            algorithms=(AlgorithmSweep.make("lpt-with-setups"),),
+            scales={"quick": ScalePreset(max_points=1)},
+            reference=ReferencePolicy(exact_limit=500, time_limit=20.0),
+        )
+        run = Session(backend="serial").run(spec)
+        table = run.table()
+        assert "ratio" in table.columns and "reference" in table.columns
+        assert all(row["ratio"] >= 1.0 - 1e-9 for row in table.rows)
+
+    def test_failures_raise_by_default(self):
+        spec = ScenarioSpec(
+            name="boom",
+            suite="e1_lpt_uniform",
+            # An unsupported kwarg makes the algorithm raise on a worker.
+            algorithms=(AlgorithmSweep.make("lpt-with-setups",
+                                            {"no_such_kwarg": 1}),),
+            scales={"quick": ScalePreset(max_points=1)},
+        )
+        session = Session(backend="serial")
+        with pytest.raises(RuntimeError):
+            session.run(spec)
+        # stream surfaces the sentinel instead of raising.
+        (info, result), = list(session.stream(spec))
+        assert result.meta.get("error")

@@ -1,0 +1,283 @@
+"""Scenario specs: serialization round-trips, unknown-key rejection,
+deterministic compilation.
+
+The contracts the satellite checklist pins:
+
+* TOML/JSON round-trip equals the in-memory spec (structural equality,
+  through both ``save``/``load_scenario`` and ``to_dict``/``from_dict``);
+* unknown keys anywhere in a spec file fail loudly;
+* two compiles of one spec produce identical ``cache_key()`` task lists;
+* the shipped ``scenarios/*.toml`` files all load, and the bundled
+  fallback TOML parser agrees byte-for-byte with stdlib ``tomllib``
+  on every one of them (the 3.9/3.10 path must not drift).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.api import (
+    AlgorithmSweep,
+    BudgetPolicy,
+    ReferencePolicy,
+    ScalePreset,
+    ScenarioSpec,
+    load_scenario,
+    scenario_from_dict,
+)
+from repro.api import _toml
+
+SCENARIO_DIR = pathlib.Path(__file__).parent.parent / "scenarios"
+
+
+def _demo_spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        name="demo",
+        title="Demo scenario",
+        suite="e1_lpt_uniform",
+        algorithms=(
+            AlgorithmSweep.make("ptas-uniform", {"epsilon": [0.5, 0.25]}),
+            AlgorithmSweep.make("randomized-rounding", {"restarts": 1},
+                                seed_kwarg="seed"),
+            AlgorithmSweep.make("lpt-with-setups"),
+        ),
+        scales={"quick": ScalePreset(max_points=2), "full": ScalePreset()},
+        budget=BudgetPolicy(timeout_s=30.0, budget_factor=4.0),
+        columns=("algorithm", "n", "makespan"),
+        notes=("a note",),
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+def _generator_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="gen-demo",
+        generator="unrelated_instance",
+        sweep=(
+            {"num_jobs": 20, "num_machines": 3, "num_classes": 4,
+             "correlation": "uncorrelated", "setup_range": [1.0, 20.0]},
+            {"num_jobs": 30, "num_machines": 4, "num_classes": 5,
+             "correlation": "machine_correlated",
+             "setup_range": [50.0, 200.0]},
+        ),
+        replications=2,
+        base_seed=77,
+        algorithms=(AlgorithmSweep.make("class-aware-greedy"),),
+        scales={"quick": ScalePreset(max_points=3)},
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_equals_in_memory_spec(self):
+        spec = _demo_spec()
+        assert scenario_from_dict(spec.to_dict()) == spec
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = _demo_spec(reference=ReferencePolicy(exact_limit=400))
+        path = spec.save(tmp_path / "demo.json")
+        assert load_scenario(path) == spec
+
+    def test_toml_file_round_trip(self, tmp_path):
+        spec = _demo_spec()
+        path = spec.save(tmp_path / "demo.toml")
+        assert load_scenario(path) == spec
+
+    def test_generator_spec_round_trips_both_formats(self, tmp_path):
+        spec = _generator_spec()
+        assert load_scenario(spec.save(tmp_path / "gen.toml")) == spec
+        assert load_scenario(spec.save(tmp_path / "gen.json")) == spec
+
+    def test_json_and_toml_agree(self, tmp_path):
+        """The two on-disk formats describe the same spec object."""
+        spec = _demo_spec()
+        from_toml = load_scenario(spec.save(tmp_path / "a.toml"))
+        from_json = load_scenario(spec.save(tmp_path / "a.json"))
+        assert from_toml == from_json
+
+    def test_unsupported_extension_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            _demo_spec().save(tmp_path / "demo.yaml")
+        (tmp_path / "demo.yaml").write_text("x")
+        with pytest.raises(ValueError, match="extension"):
+            load_scenario(tmp_path / "demo.yaml")
+
+
+class TestUnknownKeys:
+    def test_unknown_scenario_key_rejected(self):
+        data = _demo_spec().to_dict()
+        data["scenario"]["sweeep"] = []
+        with pytest.raises(ValueError, match="sweeep"):
+            scenario_from_dict(data)
+
+    def test_unknown_top_level_key_rejected(self):
+        data = _demo_spec().to_dict()
+        data["algoritms"] = []
+        with pytest.raises(ValueError, match="algoritms"):
+            scenario_from_dict(data)
+
+    def test_unknown_algorithm_key_rejected(self):
+        data = _demo_spec().to_dict()
+        data["algorithms"][0]["seed_kwargs"] = "seed"
+        with pytest.raises(ValueError, match="seed_kwargs"):
+            scenario_from_dict(data)
+
+    def test_unknown_scale_key_rejected(self):
+        data = _demo_spec().to_dict()
+        data["scenario"]["scales"]["quick"]["max_point"] = 3
+        with pytest.raises(ValueError, match="max_point"):
+            scenario_from_dict(data)
+
+    def test_unknown_budget_key_rejected(self):
+        data = _demo_spec().to_dict()
+        data["scenario"]["budget"]["timeout"] = 3
+        with pytest.raises(ValueError, match="timeout"):
+            scenario_from_dict(data)
+
+    def test_file_error_names_the_file(self, tmp_path):
+        path = tmp_path / "typo.json"
+        data = _demo_spec().to_dict()
+        data["scenario"]["moed"] = "grid"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="typo.json"):
+            load_scenario(path)
+
+
+class TestValidation:
+    def test_exactly_one_instance_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            _demo_spec(suite=None)
+        with pytest.raises(ValueError, match="exactly one"):
+            _demo_spec(generator="uniform_instance",
+                       sweep=({"num_jobs": 10},))
+
+    def test_unknown_suite_and_generator_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            _demo_spec(suite="no_such_suite")
+        with pytest.raises(ValueError, match="unknown generator"):
+            _demo_spec(suite=None, generator="no_such_generator",
+                       sweep=({"num_jobs": 10},))
+
+    def test_portfolio_mode_rejects_grids_and_references(self):
+        single = (AlgorithmSweep.make("lpt-with-setups"),)
+        with pytest.raises(ValueError, match="single variant"):
+            _demo_spec(mode="portfolio", budget=None)
+        with pytest.raises(ValueError, match="grid-mode"):
+            _demo_spec(mode="portfolio", algorithms=single, budget=None,
+                       reference=ReferencePolicy())
+        # seed_kwarg never reaches portfolio execution (it auto-seeds from
+        # instance content) — accepting it would silently drop the
+        # declared seeding, so it is rejected too.
+        with pytest.raises(ValueError, match="seed_kwarg"):
+            _demo_spec(mode="portfolio", budget=None, algorithms=(
+                AlgorithmSweep.make("randomized-rounding",
+                                    seed_kwarg="seed"),))
+
+    def test_unknown_algorithm_name_fails_at_compile(self):
+        spec = _demo_spec(
+            algorithms=(AlgorithmSweep.make("no-such-algorithm"),))
+        with pytest.raises(KeyError):
+            spec.compile("quick")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError, match="no scale"):
+            _demo_spec().compile("galactic")
+
+
+class TestCompilation:
+    def test_two_compiles_have_identical_cache_key_lists(self):
+        spec = _demo_spec()
+        first = [t.cache_key() for t in spec.compile("quick").tasks]
+        second = [t.cache_key() for t in spec.compile("quick").tasks]
+        assert first and first == second
+
+    def test_round_tripped_spec_compiles_to_the_same_tasks(self, tmp_path):
+        spec = _generator_spec()
+        reloaded = load_scenario(spec.save(tmp_path / "gen.toml"))
+        assert ([t.cache_key() for t in spec.compile("quick").tasks]
+                == [t.cache_key() for t in reloaded.compile("quick").tasks])
+
+    def test_algorithm_major_order_and_grid_expansion(self):
+        spec = _demo_spec()
+        compiled = spec.compile("quick")
+        points = len(compiled.points)
+        assert points == 2  # quick preset caps the suite stream
+        names = [t.algorithm for t in compiled.tasks]
+        # ptas variants (2 epsilons x points), then rounding, then lpt.
+        assert names == (["ptas-uniform"] * (2 * points)
+                         + ["randomized-rounding"] * points
+                         + ["lpt-with-setups"] * points)
+        epsilons = [t.kwargs_dict().get("epsilon")
+                    for t in compiled.tasks[:2 * points]]
+        assert epsilons == [0.5] * points + [0.25] * points
+
+    def test_seed_kwarg_injects_the_point_seed(self):
+        compiled = _demo_spec().compile("quick")
+        for task, info in zip(compiled.tasks, compiled.infos):
+            if task.algorithm == "randomized-rounding":
+                assert task.kwargs_dict()["seed"] == info.seed
+                assert info.seed == compiled.points[info.point_index][1]
+
+    def test_scale_presets_trim_points_and_replications(self):
+        spec = _generator_spec()
+        assert len(spec.points("quick")) == 3  # max_points caps 2x2 points
+        full = ScenarioSpec(
+            name=spec.name, generator=spec.generator, sweep=spec.sweep,
+            replications=spec.replications, base_seed=spec.base_seed,
+            algorithms=spec.algorithms,
+            scales={"full": ScalePreset(replications=1)})
+        assert len(full.points("full")) == 2  # one seed per sweep point
+
+
+class TestShippedScenarios:
+    def test_every_shipped_scenario_loads_and_compiles(self):
+        files = sorted(SCENARIO_DIR.glob("*.toml"))
+        assert len(files) >= 3, "the scenarios/ directory must ship specs"
+        for path in files:
+            spec = load_scenario(path)
+            compiled = spec.compile("quick")
+            assert len(compiled.tasks) > 0, path.name
+
+    def test_fallback_toml_parser_matches_tomllib(self):
+        tomllib = pytest.importorskip("tomllib")
+        for path in sorted(SCENARIO_DIR.glob("*.toml")):
+            text = path.read_text()
+            assert _toml.loads(text) == tomllib.loads(text), path.name
+
+    def test_fallback_parser_handles_core_toml(self):
+        parsed = _toml.loads("""
+        # comment
+        [table]
+        s = "a \\"quoted\\" string"   # trailing comment
+        lit = 'C:\\path'
+        i = 42
+        f = -0.5
+        t = true
+        arr = [1, 2,
+               3]
+        inline = {a = 1, b = "x"}
+        [table.sub]
+        k = "v"
+        [[items]]
+        n = 1
+        [[items]]
+        n = 2
+        """)
+        assert parsed["table"]["s"] == 'a "quoted" string'
+        assert parsed["table"]["lit"] == "C:\\path"
+        assert parsed["table"]["i"] == 42
+        assert parsed["table"]["f"] == -0.5
+        assert parsed["table"]["t"] is True
+        assert parsed["table"]["arr"] == [1, 2, 3]
+        assert parsed["table"]["inline"] == {"a": 1, "b": "x"}
+        assert parsed["table"]["sub"] == {"k": "v"}
+        assert [item["n"] for item in parsed["items"]] == [1, 2]
+
+    def test_fallback_parser_rejects_unsupported_toml(self):
+        with pytest.raises(_toml.TOMLDecodeError):
+            _toml.loads('s = """multi\nline"""')
+        with pytest.raises(_toml.TOMLDecodeError):
+            _toml.loads("a = 1\na = 2")

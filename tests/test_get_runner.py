@@ -4,30 +4,37 @@
 ``(store file, backend)`` so an embedded server can run independent
 sweeps per tenant; the legacy contract — configure the store once, every
 bare ``get_runner()`` call hits it — must keep holding for the
-experiment harness.
+experiment harness.  The pool now lives in :mod:`repro.runtime.pool`
+(the canonical entry point); ``repro.analysis.experiments.get_runner``
+must stay a re-export of the same function.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import experiments
-from repro.analysis.experiments import get_runner
 from repro.generators import uniform_instance
-from repro.runtime import BatchRunner, QueueBackend, SerialBackend
+from repro.runtime import BatchRunner, QueueBackend, SerialBackend, pool
+from repro.runtime.pool import get_runner
 
 
 @pytest.fixture(autouse=True)
 def isolated_runner_pool(monkeypatch):
     """Each test sees an empty runner pool (the module state is global)."""
-    monkeypatch.setattr(experiments, "_RUNNERS", {})
-    monkeypatch.setattr(experiments, "_SHARED_STORES", {})
-    monkeypatch.setattr(experiments, "_DEFAULT_RUNNER", None)
+    monkeypatch.setattr(pool, "_RUNNERS", {})
+    monkeypatch.setattr(pool, "_SHARED_STORES", {})
+    monkeypatch.setattr(pool, "_DEFAULT_RUNNER", None)
     monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
     monkeypatch.delenv("REPRO_BACKEND", raising=False)
     yield
-    for store in experiments._SHARED_STORES.values():
+    for store in pool._SHARED_STORES.values():
         store.close()
+
+
+def test_experiments_reexport_is_the_canonical_pool():
+    from repro.analysis import experiments
+
+    assert experiments.get_runner is get_runner
 
 
 class TestKeyedPool:
